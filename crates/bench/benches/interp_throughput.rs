@@ -1,0 +1,40 @@
+//! Profiling-substrate throughput: interpreter speed on representative
+//! kernels, unoptimized vs -O3 (the cost of one Data Extraction sample).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcomp_ir::Interpreter;
+use mlcomp_passes::{PassManager, PipelineLevel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter");
+    for name in ["crc32", "matmult-int", "blackscholes"] {
+        let program = mlcomp_suites::program(name).expect("suite program");
+        let entry = program.module.find_function(program.entry).unwrap();
+        g.bench_function(format!("{name} -O0"), |b| {
+            b.iter(|| {
+                black_box(
+                    Interpreter::new(&program.module)
+                        .run(entry, &program.default_args())
+                        .unwrap(),
+                )
+            })
+        });
+        let mut opt = program.module.clone();
+        PassManager::new().run_level(&mut opt, PipelineLevel::O3);
+        let entry_opt = opt.find_function(program.entry).unwrap();
+        g.bench_function(format!("{name} -O3"), |b| {
+            b.iter(|| {
+                black_box(
+                    Interpreter::new(&opt)
+                        .run(entry_opt, &program.default_args())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

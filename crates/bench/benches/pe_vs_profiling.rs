@@ -1,0 +1,48 @@
+//! The mechanism behind the paper's adaptation-time claim (50× faster
+//! training, 2 days vs 15–108): obtaining dynamic features from the PE is
+//! orders of magnitude cheaper than profiling an execution. This bench
+//! measures both paths on the same program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcomp_core::{DataExtraction, PerfEstimator};
+use mlcomp_ml::search::ModelSearch;
+use mlcomp_platform::{Profiler, Workload, X86Platform};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let platform = X86Platform::new();
+    let apps: Vec<_> = mlcomp_suites::parsec_suite()
+        .into_iter()
+        .filter(|p| ["dedup", "vips", "x264"].contains(&p.name))
+        .collect();
+    let dataset = DataExtraction::quick()
+        .run(&platform, &apps)
+        .expect("extraction runs");
+    let estimator = PerfEstimator::train(&dataset, &ModelSearch::quick()).expect("PE trains");
+
+    let target = &apps[0];
+    let features = mlcomp_features::extract(&target.module);
+    let profiler = Profiler::new(&platform);
+    let workload = Workload::new(target.entry, target.default_args());
+
+    let mut g = c.benchmark_group("dynamic-feature-acquisition");
+    g.bench_function("profiling (execute + cost model)", |b| {
+        b.iter(|| {
+            black_box(
+                profiler
+                    .profile(black_box(&target.module), &workload)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("pe-prediction (no execution)", |b| {
+        b.iter(|| black_box(estimator.predict(black_box(&features))))
+    });
+    g.bench_function("feature-extraction", |b| {
+        b.iter(|| black_box(mlcomp_features::extract(black_box(&target.module))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

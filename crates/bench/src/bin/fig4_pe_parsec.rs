@@ -1,0 +1,59 @@
+//! Fig. 4: comparison between profiling data and PE prediction for PARSEC
+//! applications on the x86 platform — per-app distributions of all four
+//! metrics, plus the held-out accuracy behind them.
+//!
+//! ```sh
+//! cargo run --release -p mlcomp-bench --bin fig4_pe_parsec [--quick|--paper]
+//! ```
+
+use mlcomp_bench::{fmt_five, pe_experiment, Scale};
+use mlcomp_platform::X86Platform;
+
+fn main() {
+    let scale = Scale::from_args();
+    let platform = X86Platform::new();
+    let apps = mlcomp_suites::parsec_suite();
+    let (extraction, search) = scale.pe_parts(false);
+    eprintln!(
+        "[fig4] extracting {} PARSEC apps × {} variants on x86 ({scale:?})…",
+        apps.len(),
+        extraction.variants_per_app
+    );
+    let out = pe_experiment(&platform, &apps, &extraction, &search);
+
+    println!("== Fig. 4 — PE profiled vs predicted distributions (PARSEC / x86) ==");
+    println!("dataset: {} samples", out.dataset.len());
+    println!("\nper-metric winning pipelines (held-out):");
+    print!("{}", out.estimator.report());
+
+    for metric in mlcomp_platform::METRIC_NAMES {
+        println!("\n--- metric: {metric} ---");
+        println!(
+            "{:<14} {:>44}  {:>44}  {:>7}",
+            "app", "profiled [min |q1 med q3| max]", "predicted [min |q1 med q3| max]", "MAPE"
+        );
+        for row in out.rows.iter().filter(|r| r.metric == metric) {
+            println!(
+                "{:<14} {}  {}  {:>6.2}%",
+                row.app,
+                fmt_five(&row.profiled),
+                fmt_five(&row.predicted),
+                row.mape() * 100.0
+            );
+        }
+    }
+
+    // The paper's observation ①: blackscholes has a very tight distribution.
+    if let Some(bs) = out
+        .rows
+        .iter()
+        .find(|r| r.app == "blackscholes" && r.metric == "exec_time_s")
+    {
+        let (mn, _, md, _, mx) = mlcomp_bench::five_num(&bs.profiled);
+        println!(
+            "\nnote ①: blackscholes exec-time spread (max/min) = {:.2}× around median {:.3e}s",
+            mx / mn.max(1e-30),
+            md
+        );
+    }
+}

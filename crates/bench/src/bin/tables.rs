@@ -1,0 +1,103 @@
+//! Tables I–VI of the paper. Tables I/II are the related-work comparison
+//! matrices (reprinted with the MLComp row backed by this reproduction's
+//! measured properties); Tables III–VI enumerate the implemented
+//! preprocessors, models, PSS hyper-parameters and phases, each verified
+//! against the live registries.
+//!
+//! ```sh
+//! cargo run --release -p mlcomp-bench --bin tables             # all
+//! cargo run --release -p mlcomp-bench --bin tables -- --table 4
+//! ```
+
+use mlcomp_core::PssConfig;
+use mlcomp_ml::search::{create_model, create_preprocessor, model_zoo, preprocessor_zoo};
+use mlcomp_passes::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which: Option<u32> = args
+        .iter()
+        .position(|a| a == "--table")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let show = |n: u32| which.is_none() || which == Some(n);
+
+    if show(1) {
+        println!("== Table I — ML-based phase selection policies ==");
+        println!(
+            "{:<14} {:<10} {:<6} {:<8} {:<6} {:<9} {}",
+            "Solution", "Technique", "Time", "Energy", "Size", "Ordering", "Features"
+        );
+        for (s, t, ti, en, sz, or, fe) in [
+            ("COBAYN", "SL", "x", "", "", "No", "Profiling"),
+            ("Milepost GCC", "SL", "x", "", "x", "No", "Profiling"),
+            ("MiCOMP", "SL", "x", "", "", "Static", "Profiling"),
+            ("Kulkarni+", "RL", "x", "", "", "Dynamic", "Profiling"),
+            ("Ashouri+16", "SL", "x", "", "", "Dynamic", "Profiling"),
+            ("MLComp (PSS)", "RL", "x", "x", "x", "Dynamic", "Prediction"),
+        ] {
+            println!("{s:<14} {t:<10} {ti:<6} {en:<8} {sz:<6} {or:<9} {fe}");
+        }
+        println!(
+            "\n(this reproduction: RL = REINFORCE over {} phases; rewards from PE predictions)",
+            registry::PHASE_COUNT
+        );
+    }
+
+    if show(2) {
+        println!("\n== Table II — performance estimators ==");
+        println!("MLComp (PE) row, verified properties of this reproduction:");
+        println!("  automation      : Full — Algorithm 1 searches {} preprocessors × {} models",
+            preprocessor_zoo().len(),
+            model_zoo().len()
+        );
+        println!("  machine learning: Advanced — kernel, tree-ensemble and neural models in the zoo");
+        println!("  metrics         : exec time, energy, # executed instructions, code size");
+        println!("  data gathering  : Profiling (interpreter + platform cost models)");
+        println!("  accuracy        : run `takeaways` for measured per-metric errors");
+    }
+
+    if show(3) {
+        println!("\n== Table III — preprocessing algorithms (all constructible) ==");
+        for name in preprocessor_zoo() {
+            let p = create_preprocessor(name).expect("zoo entry constructs");
+            println!("  {:<10} ({})", name, p.name());
+        }
+    }
+
+    if show(4) {
+        println!("\n== Table IV — ML regression models (all constructible) ==");
+        for name in model_zoo() {
+            let m = create_model(name).expect("zoo entry constructs");
+            println!("  {:<20} ({})", name, m.name());
+        }
+    }
+
+    if show(5) {
+        println!("\n== Table V — PSS training parameters ==");
+        let c = PssConfig::paper();
+        println!("  Number of layers                  {}", c.layers);
+        println!("  Size of inner layer               {}", c.inner_size);
+        println!("  Number of episodes                {}", c.episodes);
+        println!("  Batch size                        {}", c.batch_size);
+        println!("  Max. phase sequence length        {}", c.max_seq_len);
+        println!("  Learning rate                     {}", c.learning_rate);
+        println!("  Max. inactive subsequence length  {}", c.max_inactive);
+    }
+
+    if show(6) {
+        println!("\n== Table VI — optimization phases ({}) ==", registry::PHASE_COUNT);
+        // Smoke-run every phase on a real program to prove availability.
+        let program = mlcomp_suites::program("crc32").expect("suite program exists");
+        let pm = mlcomp_passes::PassManager::verifying();
+        for chunk in registry::PHASE_NAMES.chunks(3) {
+            for name in chunk {
+                let mut m = program.module.clone();
+                pm.run_phase(&mut m, name).expect("phase runs");
+                print!("  {name:<28}");
+            }
+            println!();
+        }
+        println!("(each phase above was just executed and verifier-checked on `crc32`)");
+    }
+}

@@ -1,0 +1,114 @@
+//! The profiling dataset collected by Data Extraction.
+
+use mlcomp_linalg::Matrix;
+use mlcomp_platform::DynamicFeatures;
+use serde::{Deserialize, Serialize};
+
+/// One profiled variant: an application compiled under one phase sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Application name.
+    pub app: String,
+    /// The phase sequence that produced this variant.
+    pub sequence: Vec<String>,
+    /// The 63 static features of the optimized module.
+    pub features: Vec<f64>,
+    /// Profiled dynamic metrics.
+    pub metrics: DynamicFeatures,
+}
+
+/// A Data Extraction output: the PE training set for one platform.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Platform name the metrics were measured on.
+    pub platform: String,
+    /// All profiled variants.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The feature matrix (`n × 63`).
+    pub fn features(&self) -> Matrix {
+        Matrix::from_vec_rows(self.samples.iter().map(|s| s.features.clone()).collect())
+    }
+
+    /// One metric column by [`mlcomp_platform::METRIC_NAMES`] name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown metric name.
+    pub fn targets(&self, metric: &str) -> Vec<f64> {
+        self.samples.iter().map(|s| s.metrics.get(metric)).collect()
+    }
+
+    /// Distinct application names, in first-seen order.
+    pub fn apps(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in &self.samples {
+            if !out.contains(&s.app) {
+                out.push(s.app.clone());
+            }
+        }
+        out
+    }
+
+    /// Samples belonging to one application.
+    pub fn samples_for(&self, app: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.app == app).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(app: &str, t: f64) -> Sample {
+        Sample {
+            app: app.into(),
+            sequence: vec!["mem2reg".into()],
+            features: vec![1.0, 2.0, 3.0],
+            metrics: DynamicFeatures {
+                exec_time_s: t,
+                energy_j: 2.0 * t,
+                instructions: 100.0,
+                code_size: 400.0,
+            },
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = Dataset {
+            platform: "x86".into(),
+            samples: vec![sample("a", 1.0), sample("b", 2.0), sample("a", 3.0)],
+        };
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.features().rows(), 3);
+        assert_eq!(ds.targets("exec_time_s"), vec![1.0, 2.0, 3.0]);
+        assert_eq!(ds.targets("energy_j"), vec![2.0, 4.0, 6.0]);
+        assert_eq!(ds.apps(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(ds.samples_for("a").len(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ds = Dataset {
+            platform: "riscv".into(),
+            samples: vec![sample("a", 1.5)],
+        };
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(ds, back);
+    }
+}

@@ -1,0 +1,225 @@
+//! Data Extraction (box ① of Fig. 2): explore phase permutations per
+//! application, compile each variant, collect static features and profile
+//! the dynamic metrics.
+
+use crate::dataset::{Dataset, Sample};
+use mlcomp_passes::{registry, PassManager};
+use mlcomp_platform::{Profiler, TargetPlatform, Workload};
+use mlcomp_suites::BenchProgram;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Data extraction failed for every sampled variant of some application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractionError {
+    /// Which application failed.
+    pub app: String,
+    /// The underlying reason for the last failure.
+    pub reason: String,
+}
+
+impl fmt::Display for ExtractionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "extraction failed for `{}`: {}", self.app, self.reason)
+    }
+}
+
+impl std::error::Error for ExtractionError {}
+
+/// Configuration for the permutation exploration.
+///
+/// The paper collected 200–600 data points per platform; the defaults here
+/// land in that range for the 13-program PARSEC suite (13 × 30 = 390) and
+/// the 24-program BEEBS suite (24 × 20 = 480 with
+/// [`DataExtraction::beebs_default`]).
+#[derive(Debug, Clone)]
+pub struct DataExtraction {
+    /// Phase-sequence variants per application (incl. the unoptimized and
+    /// standard-level baselines).
+    pub variants_per_app: usize,
+    /// Length range of random phase permutations.
+    pub min_phases: usize,
+    /// Maximum permutation length.
+    pub max_phases: usize,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Relative profiling noise (RAPL-style jitter); 0 = exact.
+    pub noise: f64,
+}
+
+impl Default for DataExtraction {
+    fn default() -> Self {
+        DataExtraction {
+            variants_per_app: 30,
+            min_phases: 2,
+            max_phases: 24,
+            seed: 0xDA7A,
+            noise: 0.0,
+        }
+    }
+}
+
+impl DataExtraction {
+    /// The BEEBS-sized configuration (more apps, fewer variants each).
+    pub fn beebs_default() -> DataExtraction {
+        DataExtraction {
+            variants_per_app: 20,
+            ..DataExtraction::default()
+        }
+    }
+
+    /// A small configuration for tests and demos.
+    pub fn quick() -> DataExtraction {
+        DataExtraction {
+            variants_per_app: 8,
+            max_phases: 10,
+            ..DataExtraction::default()
+        }
+    }
+
+    /// Runs extraction for all `apps` on `platform`.
+    ///
+    /// Per app, the first three variants are fixed anchors — unoptimized,
+    /// `-O2` and `-O3` — and the rest are random permutations of the
+    /// Table VI phases. Variants that fail to execute (e.g. pathological
+    /// sequences hitting interpreter limits) are skipped; the error is
+    /// returned only if *every* variant of an app fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractionError`] when an application yields no samples.
+    pub fn run<P: TargetPlatform + ?Sized>(
+        &self,
+        platform: &P,
+        apps: &[BenchProgram],
+    ) -> Result<Dataset, ExtractionError> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let pm = PassManager::new();
+        let phases = registry::all_phase_names();
+        let mut dataset = Dataset {
+            platform: platform.name().to_string(),
+            samples: Vec::new(),
+        };
+        for app in apps {
+            let before = dataset.samples.len();
+            let mut last_err = String::from("no variants attempted");
+            for v in 0..self.variants_per_app {
+                let sequence: Vec<String> = match v {
+                    0 => Vec::new(),
+                    1 => mlcomp_passes::PipelineLevel::O2
+                        .phases()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    2 => mlcomp_passes::PipelineLevel::O3
+                        .phases()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    _ => {
+                        let len = rng.gen_range(self.min_phases..=self.max_phases);
+                        (0..len)
+                            .map(|_| phases.choose(&mut rng).expect("registry non-empty").to_string())
+                            .collect()
+                    }
+                };
+                let mut module = app.module.clone();
+                for ph in &sequence {
+                    pm.run_phase(&mut module, ph)
+                        .expect("registry names are valid");
+                }
+                let features = mlcomp_features::extract(&module);
+                let profiler = if self.noise > 0.0 {
+                    Profiler::new(platform)
+                        .with_noise(self.noise, self.seed ^ (dataset.samples.len() as u64))
+                } else {
+                    Profiler::new(platform)
+                };
+                let workload = Workload::new(app.entry, app.default_args());
+                match profiler.profile(&module, &workload) {
+                    Ok(metrics) => dataset.samples.push(Sample {
+                        app: app.name.to_string(),
+                        sequence,
+                        features: features.values,
+                        metrics,
+                    }),
+                    Err(e) => last_err = e.to_string(),
+                }
+            }
+            if dataset.samples.len() == before {
+                return Err(ExtractionError {
+                    app: app.name.to_string(),
+                    reason: last_err,
+                });
+            }
+        }
+        Ok(dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcomp_platform::X86Platform;
+
+    fn two_apps() -> Vec<BenchProgram> {
+        mlcomp_suites::parsec_suite()
+            .into_iter()
+            .filter(|p| p.name == "dedup" || p.name == "vips")
+            .collect()
+    }
+
+    #[test]
+    fn extraction_produces_varied_samples() {
+        let platform = X86Platform::new();
+        let ex = DataExtraction::quick();
+        let ds = ex.run(&platform, &two_apps()).unwrap();
+        assert_eq!(ds.len(), 16);
+        assert_eq!(ds.platform, "x86");
+        assert_eq!(ds.apps().len(), 2);
+        // The unoptimized anchor differs from the -O3 anchor.
+        let dedup = ds.samples_for("dedup");
+        assert!(dedup[0].sequence.is_empty());
+        assert!(!dedup[2].sequence.is_empty());
+        assert!(
+            dedup[0].metrics.exec_time_s > dedup[2].metrics.exec_time_s,
+            "O3 anchor should beat unoptimized"
+        );
+        // Different sequences give different feature vectors somewhere.
+        assert!(dedup.iter().any(|s| s.features != dedup[0].features));
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let platform = X86Platform::new();
+        let apps = two_apps();
+        let a = DataExtraction::quick().run(&platform, &apps).unwrap();
+        let b = DataExtraction::quick().run(&platform, &apps).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_perturbs_measurements_only() {
+        let platform = X86Platform::new();
+        let apps = two_apps();
+        let clean = DataExtraction::quick().run(&platform, &apps).unwrap();
+        let noisy = DataExtraction {
+            noise: 0.01,
+            ..DataExtraction::quick()
+        }
+        .run(&platform, &apps)
+        .unwrap();
+        assert_eq!(clean.len(), noisy.len());
+        assert_ne!(
+            clean.targets("exec_time_s"),
+            noisy.targets("exec_time_s")
+        );
+        assert_eq!(
+            clean.targets("instructions"),
+            noisy.targets("instructions"),
+            "counts stay exact"
+        );
+    }
+}

@@ -1,0 +1,494 @@
+//! Phase Selection Policy training (box ③, Algorithm 2) and the deployed
+//! Phase Sequence Selector (box ④) with the Table V limits.
+
+use crate::estimator::PerfEstimator;
+use mlcomp_ir::Module;
+use mlcomp_ml::preprocess::{Pca, StandardScaler};
+use mlcomp_ml::{Preprocessor, TrainError};
+use mlcomp_passes::{registry, PassManager};
+use mlcomp_platform::DynamicFeatures;
+use mlcomp_rl::{Env, PolicyNet, ReinforceTrainer, TrainingStats};
+use mlcomp_suites::BenchProgram;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Table V hyper-parameters of PSS training.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PssConfig {
+    /// Number of policy-network layers (Table V: 3).
+    pub layers: usize,
+    /// Inner layer width (Table V: 16).
+    pub inner_size: usize,
+    /// Training episodes (Table V: 512).
+    pub episodes: usize,
+    /// Episode batch size (Table V: 6).
+    pub batch_size: usize,
+    /// Maximum phase sequence length (Table V: 128).
+    pub max_seq_len: usize,
+    /// Learning rate (Table V: 0.1).
+    pub learning_rate: f64,
+    /// Maximum inactive subsequence length (Table V: 8).
+    pub max_inactive: usize,
+    /// Discount factor for REINFORCE returns.
+    pub gamma: f64,
+    /// Seed for policy init and episode sampling.
+    pub seed: u64,
+}
+
+impl PssConfig {
+    /// Exactly the paper's Table V values.
+    pub fn paper() -> PssConfig {
+        PssConfig {
+            layers: 3,
+            inner_size: 16,
+            episodes: 512,
+            batch_size: 6,
+            max_seq_len: 128,
+            learning_rate: 0.1,
+            max_inactive: 8,
+            gamma: 0.98,
+            seed: 2021,
+        }
+    }
+
+    /// A reduced configuration for tests and demos.
+    pub fn quick() -> PssConfig {
+        PssConfig {
+            episodes: 64,
+            max_seq_len: 24,
+            ..PssConfig::paper()
+        }
+    }
+}
+
+impl Default for PssConfig {
+    fn default() -> Self {
+        PssConfig::paper()
+    }
+}
+
+/// Weights combining the per-metric relative improvements into the scalar
+/// reward; `degradation_penalty` adds extra cost for any worsened metric,
+/// steering the policy toward Pareto-improving phases (§III-C).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RewardWeights {
+    /// Execution-time weight.
+    pub time: f64,
+    /// Energy weight.
+    pub energy: f64,
+    /// Code-size weight.
+    pub size: f64,
+    /// Extra penalty multiplier on degradations.
+    pub degradation_penalty: f64,
+}
+
+impl Default for RewardWeights {
+    fn default() -> Self {
+        RewardWeights {
+            time: 1.0,
+            energy: 1.0,
+            size: 0.3,
+            degradation_penalty: 0.5,
+        }
+    }
+}
+
+impl RewardWeights {
+    /// The reward for moving predicted metrics from `old` to `new`:
+    /// weighted relative improvements, minus the Pareto penalty on any
+    /// degradation. Relative deltas are clamped to ±1 so one exploding
+    /// metric cannot dominate an episode.
+    pub fn reward(&self, old: &DynamicFeatures, new: &DynamicFeatures) -> f64 {
+        let rel = |o: f64, n: f64| {
+            if o.abs() < 1e-12 {
+                0.0
+            } else {
+                ((o - n) / o).clamp(-1.0, 1.0)
+            }
+        };
+        let dt = rel(old.exec_time_s, new.exec_time_s);
+        let de = rel(old.energy_j, new.energy_j);
+        let ds = rel(old.code_size, new.code_size);
+        let gain = self.time * dt + self.energy * de + self.size * ds;
+        let penalty: f64 = [dt, de, ds]
+            .iter()
+            .map(|d| (-d).max(0.0))
+            .sum::<f64>()
+            * self.degradation_penalty;
+        gain - penalty
+    }
+}
+
+/// The state projection of §IV: the 63 static features are standardized
+/// and reduced by PCA with MLE-selected dimensionality before feeding the
+/// policy network. (Standardization keeps any single large-scale feature —
+/// e.g. global data size — from dominating the principal components.)
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureProjector {
+    scaler: StandardScaler,
+    pca: Pca,
+}
+
+impl FeatureProjector {
+    /// Fits the projection on the extraction dataset's feature matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] on degenerate input (fewer than two rows).
+    pub fn fit(x: &mlcomp_linalg::Matrix) -> Result<FeatureProjector, TrainError> {
+        let mut scaler = StandardScaler::default();
+        let scaled = scaler.fit_transform(x)?;
+        let mut pca = Pca::mle();
+        pca.fit(&scaled)?;
+        Ok(FeatureProjector { scaler, pca })
+    }
+
+    /// Projects one feature vector into the policy's state space.
+    pub fn project(&self, values: &[f64]) -> Vec<f64> {
+        let x = mlcomp_linalg::Matrix::from_vec_rows(vec![values.to_vec()]);
+        self.pca.transform(&self.scaler.transform(&x)).row(0).to_vec()
+    }
+
+    /// Output (state) dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.pca.out_dim()
+    }
+}
+
+/// The RL environment of Algorithm 2: states are PCA-projected static
+/// features of the module being optimized, actions are the 48 Table VI
+/// phases, and rewards come from Performance Estimator *predictions* —
+/// no profiling inside the training loop.
+pub struct CompilerEnv<'a> {
+    programs: &'a [BenchProgram],
+    estimator: &'a PerfEstimator,
+    projector: &'a FeatureProjector,
+    /// Reward shaping weights.
+    pub weights: RewardWeights,
+    max_inactive: usize,
+    pm: PassManager,
+    rng: rand::rngs::StdRng,
+    module: Option<Module>,
+    last_pred: DynamicFeatures,
+    inactive: usize,
+}
+
+impl<'a> CompilerEnv<'a> {
+    /// Creates the environment over a program set, estimator and fitted
+    /// PCA.
+    pub fn new(
+        programs: &'a [BenchProgram],
+        estimator: &'a PerfEstimator,
+        projector: &'a FeatureProjector,
+        weights: RewardWeights,
+        max_inactive: usize,
+        seed: u64,
+    ) -> CompilerEnv<'a> {
+        assert!(!programs.is_empty(), "need at least one program");
+        CompilerEnv {
+            programs,
+            estimator,
+            projector,
+            weights,
+            max_inactive,
+            pm: PassManager::new(),
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            module: None,
+            last_pred: DynamicFeatures::from_array([0.0; 4]),
+            inactive: 0,
+        }
+    }
+
+    fn observe(&self, module: &Module) -> (Vec<f64>, DynamicFeatures) {
+        let feats = mlcomp_features::extract(module);
+        let pred = self.estimator.predict(&feats);
+        (self.projector.project(&feats.values), pred)
+    }
+}
+
+impl Env for CompilerEnv<'_> {
+    fn state_dim(&self) -> usize {
+        self.projector.out_dim()
+    }
+
+    fn action_count(&self) -> usize {
+        registry::PHASE_COUNT
+    }
+
+    fn reset(&mut self) -> Vec<f64> {
+        let idx = self.rng.gen_range(0..self.programs.len());
+        let module = self.programs[idx].module.clone();
+        let (state, pred) = self.observe(&module);
+        self.module = Some(module);
+        self.last_pred = pred;
+        self.inactive = 0;
+        state
+    }
+
+    fn step(&mut self, action: usize) -> (Vec<f64>, f64, bool) {
+        let mut module = self.module.take().expect("step before reset");
+        let phase = registry::PHASE_NAMES[action];
+        let before = module.clone();
+        self.pm
+            .run_phase(&mut module, phase)
+            .expect("registry names are valid");
+        if module == before {
+            // The phase did nothing: small cost, episode ends after a run
+            // of `max_inactive` such steps (the Table V limit).
+            self.inactive += 1;
+            let done = self.inactive >= self.max_inactive;
+            let (state, _) = self.observe(&module);
+            self.module = Some(module);
+            return (state, -0.01, done);
+        }
+        self.inactive = 0;
+        let (state, pred) = self.observe(&module);
+        let reward = self.weights.reward(&self.last_pred, &pred);
+        self.last_pred = pred;
+        self.module = Some(module);
+        (state, reward, false)
+    }
+}
+
+/// The deployed Phase Sequence Selector: a trained policy plus the fitted
+/// PCA, driving the pass manager with the paper's §III-D rules.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseSequenceSelector {
+    /// The trained policy network.
+    pub policy: PolicyNet,
+    /// The feature projection fitted during training.
+    pub projector: FeatureProjector,
+    /// Deployment limits (Table V).
+    pub config: PssConfig,
+}
+
+impl PhaseSequenceSelector {
+    /// Trains a selector with Algorithm 2.
+    ///
+    /// `projector` must already be fitted on the extraction dataset's
+    /// features (the paper's "63 code features preprocessed by PCA with
+    /// MLE"). Returns the selector and the per-batch learning curve.
+    pub fn train(
+        programs: &[BenchProgram],
+        estimator: &PerfEstimator,
+        projector: FeatureProjector,
+        config: PssConfig,
+        weights: RewardWeights,
+    ) -> (PhaseSequenceSelector, Vec<TrainingStats>) {
+        let mut env = CompilerEnv::new(
+            programs,
+            estimator,
+            &projector,
+            weights,
+            config.max_inactive,
+            config.seed ^ 0x5EED,
+        );
+        let mut policy = PolicyNet::new(
+            projector.out_dim(),
+            config.inner_size,
+            registry::PHASE_COUNT,
+            config.seed,
+        );
+        let trainer = ReinforceTrainer {
+            episodes: config.episodes,
+            batch_size: config.batch_size,
+            learning_rate: config.learning_rate,
+            gamma: config.gamma,
+            max_steps: config.max_seq_len,
+            entropy_bonus: 0.01,
+            seed: config.seed ^ 0xF00D,
+        };
+        let stats = trainer.train(&mut policy, &mut env);
+        (
+            PhaseSequenceSelector {
+                policy,
+                projector,
+                config,
+            },
+            stats,
+        )
+    }
+
+    /// Deployment (§III-D): iteratively applies the most probable phase;
+    /// when a phase leaves the module unchanged, falls back to the second,
+    /// third, … best up to "max inactive subsequence length"; stops when
+    /// the fallback budget is exhausted or the sequence reaches
+    /// "max phase sequence length".
+    pub fn optimize(&self, module: &Module) -> (Module, Vec<&'static str>) {
+        let pm = PassManager::new();
+        let mut current = module.clone();
+        let mut applied: Vec<&'static str> = Vec::new();
+        while applied.len() < self.config.max_seq_len {
+            let feats = mlcomp_features::extract(&current);
+            let state = self.projector.project(&feats.values);
+            let ranked = self.policy.ranked_actions(&state);
+            let mut progressed = false;
+            for &action in ranked.iter().take(self.config.max_inactive) {
+                let phase = registry::PHASE_NAMES[action];
+                let before = current.clone();
+                pm.run_phase(&mut current, phase)
+                    .expect("registry names are valid");
+                if current != before {
+                    applied.push(phase);
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        (current, applied)
+    }
+
+    /// Serializes the selector to JSON — the reproduction's counterpart of
+    /// the paper's TorchScript export.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json` error if serialization fails.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Reloads a selector serialized with
+    /// [`PhaseSequenceSelector::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<PhaseSequenceSelector, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extraction::DataExtraction;
+    use mlcomp_ml::search::ModelSearch;
+    use mlcomp_platform::{Profiler, TargetPlatform, Workload, X86Platform};
+
+    fn setup() -> (Vec<BenchProgram>, PerfEstimator, FeatureProjector) {
+        let platform = X86Platform::new();
+        let apps: Vec<_> = mlcomp_suites::parsec_suite()
+            .into_iter()
+            .filter(|p| ["dedup", "vips"].contains(&p.name))
+            .collect();
+        let ds = DataExtraction {
+            variants_per_app: 10,
+            ..DataExtraction::quick()
+        }
+        .run(&platform, &apps)
+        .unwrap();
+        let pe = PerfEstimator::train(&ds, &ModelSearch::quick()).unwrap();
+        let projector = FeatureProjector::fit(&ds.features()).unwrap();
+        (apps, pe, projector)
+    }
+
+    #[test]
+    fn reward_prefers_improvement_and_punishes_tradeoffs() {
+        let w = RewardWeights::default();
+        let base = DynamicFeatures {
+            exec_time_s: 1.0,
+            energy_j: 1.0,
+            instructions: 100.0,
+            code_size: 100.0,
+        };
+        let better = DynamicFeatures {
+            exec_time_s: 0.9,
+            ..base
+        };
+        let worse = DynamicFeatures {
+            exec_time_s: 1.2,
+            ..base
+        };
+        assert!(w.reward(&base, &better) > 0.0);
+        assert!(w.reward(&base, &worse) < 0.0);
+        // A mixed move (time down, energy up by the same fraction) nets
+        // negative thanks to the Pareto penalty.
+        let mixed = DynamicFeatures {
+            exec_time_s: 0.9,
+            energy_j: 1.1,
+            ..base
+        };
+        assert!(w.reward(&base, &mixed) < w.reward(&base, &better));
+        assert!(w.reward(&base, &mixed) < 0.0);
+    }
+
+    #[test]
+    fn env_runs_episodes() {
+        let (apps, pe, projector) = setup();
+        let mut env = CompilerEnv::new(&apps, &pe, &projector, RewardWeights::default(), 4, 9);
+        let s0 = env.reset();
+        assert_eq!(s0.len(), projector.out_dim());
+        // mem2reg is action index…
+        let m2r = registry::PHASE_NAMES
+            .iter()
+            .position(|p| *p == "mem2reg")
+            .unwrap();
+        let (_s1, r1, done) = env.step(m2r);
+        assert!(!done);
+        assert!(r1 > 0.0, "mem2reg should be predicted as an improvement: {r1}");
+        // Re-running it is inactive.
+        let (_s2, r2, _) = env.step(m2r);
+        assert!(r2 <= 0.0);
+    }
+
+    #[test]
+    fn trained_selector_improves_programs() {
+        let (apps, pe, projector) = setup();
+        let cfg = PssConfig::quick();
+        let (selector, stats) =
+            PhaseSequenceSelector::train(&apps, &pe, projector, cfg, RewardWeights::default());
+        assert!(!stats.is_empty());
+        let platform = X86Platform::new();
+        let profiler = Profiler::new(&platform);
+        let mut base_total = 0.0;
+        let mut tuned_total = 0.0;
+        for app in &apps {
+            let (opt, phases) = selector.optimize(&app.module);
+            assert!(!phases.is_empty(), "{} got no phases", app.name);
+            assert!(phases.len() <= selector.config.max_seq_len);
+            mlcomp_ir::verify(&opt).unwrap();
+            let w = Workload::new(app.entry, app.default_args());
+            let base = profiler.profile(&app.module, &w).unwrap();
+            let tuned = profiler.profile(&opt, &w).unwrap();
+            assert!(
+                tuned.exec_time_s <= base.exec_time_s * 1.02,
+                "{}: {} → {}",
+                app.name,
+                base.exec_time_s,
+                tuned.exec_time_s
+            );
+            base_total += base.exec_time_s;
+            tuned_total += tuned.exec_time_s;
+            let _ = platform.name();
+        }
+        assert!(
+            tuned_total < base_total,
+            "suite total should improve: {tuned_total} vs {base_total}"
+        );
+    }
+
+    #[test]
+    fn selector_serialization_roundtrip() {
+        let (apps, pe, projector) = setup();
+        let (selector, _) = PhaseSequenceSelector::train(
+            &apps,
+            &pe,
+            projector,
+            PssConfig {
+                episodes: 12,
+                ..PssConfig::quick()
+            },
+            RewardWeights::default(),
+        );
+        let json = selector.to_json().unwrap();
+        let back = PhaseSequenceSelector::from_json(&json).unwrap();
+        let (_, p1) = selector.optimize(&apps[0].module);
+        let (_, p2) = back.optimize(&apps[0].module);
+        assert_eq!(p1, p2, "reloaded selector decides identically");
+    }
+}

@@ -1,0 +1,124 @@
+//! Def-use chains over a function snapshot.
+
+use crate::block::BlockId;
+use crate::function::Function;
+use crate::inst::InstId;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A location where a value is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UseSite {
+    /// Used as an operand of an instruction (which lives in the block).
+    Inst(BlockId, InstId),
+    /// Used by the terminator of a block.
+    Term(BlockId),
+}
+
+impl UseSite {
+    /// The block the use occurs in.
+    pub fn block(self) -> BlockId {
+        match self {
+            UseSite::Inst(b, _) => b,
+            UseSite::Term(b) => b,
+        }
+    }
+}
+
+/// Use lists for every instruction result in a function.
+#[derive(Debug, Clone, Default)]
+pub struct DefUse {
+    uses: HashMap<InstId, Vec<UseSite>>,
+    /// Block each placed instruction lives in.
+    pub placement: HashMap<InstId, BlockId>,
+}
+
+impl DefUse {
+    /// Scans `f` and records every use of every instruction result.
+    pub fn new(f: &Function) -> DefUse {
+        let mut du = DefUse::default();
+        for b in f.block_ids() {
+            for &id in &f.block(b).insts {
+                du.placement.insert(id, b);
+                f.inst(id).kind.for_each_operand(|v| {
+                    if let Value::Inst(d) = v {
+                        du.uses.entry(d).or_default().push(UseSite::Inst(b, id));
+                    }
+                });
+            }
+            f.block(b).term.for_each_operand(|v| {
+                if let Value::Inst(d) = v {
+                    du.uses.entry(d).or_default().push(UseSite::Term(b));
+                }
+            });
+        }
+        du
+    }
+
+    /// Use sites of `id` (empty slice when unused).
+    pub fn uses_of(&self, id: InstId) -> &[UseSite] {
+        self.uses.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of uses of `id`.
+    pub fn use_count(&self, id: InstId) -> usize {
+        self.uses_of(id).len()
+    }
+
+    /// Whether `id` has no uses.
+    pub fn is_unused(&self, id: InstId) -> bool {
+        self.use_count(id) == 0
+    }
+
+    /// The block where `id` is placed, if it is placed in a live block.
+    pub fn block_of(&self, id: InstId) -> Option<BlockId> {
+        self.placement.get(&id).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn counts_uses() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        let (x_id, dead_id);
+        {
+            let mut b = mb.body();
+            let x = b.add(b.param(0), b.const_i64(1));
+            let dead = b.mul(x, b.const_i64(2)); // uses x but is itself unused
+            let y = b.mul(x, x);
+            x_id = x.as_inst().unwrap();
+            dead_id = dead.as_inst().unwrap();
+            b.ret(Some(y));
+        }
+        mb.finish_function();
+        let m = mb.build();
+        let du = DefUse::new(&m.functions[0]);
+        assert_eq!(du.use_count(x_id), 3); // dead(1) + y(2)
+        assert!(du.is_unused(dead_id));
+        assert_eq!(du.block_of(x_id), Some(BlockId::ENTRY));
+    }
+
+    #[test]
+    fn terminator_uses() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![], Type::I64);
+        let id;
+        {
+            let mut b = mb.body();
+            let v = b.add(b.const_i64(1), b.const_i64(2));
+            id = v.as_inst().unwrap();
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let m = mb.build();
+        let du = DefUse::new(&m.functions[0]);
+        assert_eq!(du.uses_of(id), &[UseSite::Term(BlockId::ENTRY)]);
+        assert_eq!(du.uses_of(id)[0].block(), BlockId::ENTRY);
+    }
+}

@@ -1,0 +1,20 @@
+//! Analyses shared by the optimization phases: CFG, dominators, natural
+//! loops, call graph and def-use information.
+//!
+//! Analyses are computed on demand from a [`Function`](crate::Function) or
+//! [`Module`](crate::Module) snapshot; they are plain data and become stale
+//! as soon as the IR is mutated, so phases recompute them after structural
+//! changes (mirroring LLVM's analysis-invalidation discipline, without the
+//! caching machinery).
+
+mod callgraph;
+mod cfg;
+mod defuse;
+mod dom;
+mod loops;
+
+pub use callgraph::CallGraph;
+pub use cfg::{Cfg, RPO};
+pub use defuse::{DefUse, UseSite};
+pub use dom::DomTree;
+pub use loops::{Loop, LoopForest, TripCount};

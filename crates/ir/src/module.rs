@@ -1,0 +1,221 @@
+//! Modules: compilation units holding functions and globals.
+
+use crate::function::{FuncId, Function};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Index of a global variable inside a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalId(pub u32);
+
+impl GlobalId {
+    /// Array index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A module-level variable occupying `cells` 8-byte cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Size in cells.
+    pub cells: u32,
+    /// Initial cell contents (raw 64-bit patterns; floats stored as bits).
+    /// Shorter than `cells` means the tail is zero-initialized.
+    pub init: Vec<i64>,
+    /// `true` if the program never writes the global (constant data).
+    pub is_const: bool,
+    /// `true` if the symbol is not visible outside the module (candidates
+    /// for `globalopt`/`globaldce`).
+    pub internal: bool,
+    /// Tombstone set by `globaldce`/`constmerge`.
+    pub deleted: bool,
+}
+
+impl Global {
+    /// Creates a zero-initialized internal mutable global.
+    pub fn new(name: impl Into<String>, cells: u32) -> Global {
+        Global {
+            name: name.into(),
+            cells,
+            init: Vec::new(),
+            is_const: false,
+            internal: true,
+            deleted: false,
+        }
+    }
+
+    /// Creates an internal constant global with the given cell contents.
+    pub fn constant(name: impl Into<String>, init: Vec<i64>) -> Global {
+        Global {
+            name: name.into(),
+            cells: init.len() as u32,
+            init,
+            is_const: true,
+            internal: true,
+            deleted: false,
+        }
+    }
+
+    /// The initial value of cell `i` (zero when uninitialized).
+    pub fn init_cell(&self, i: usize) -> i64 {
+        self.init.get(i).copied().unwrap_or(0)
+    }
+}
+
+/// Module-level analysis metadata persisted between phases, mirroring how
+/// LLVM keeps analysis results (e.g. `globals-aa`) alive across a pipeline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModuleMeta {
+    /// Globals proven non-escaping by the `globals-aa` phase: their address
+    /// is never stored to memory, passed to calls, or returned, so loads and
+    /// stores to them can be reasoned about precisely.
+    pub nonescaping_globals: BTreeSet<GlobalId>,
+    /// `true` once `globals-aa` has run (so consumers can distinguish "not
+    /// analyzed" from "analyzed, none qualify").
+    pub globals_aa_valid: bool,
+}
+
+/// A compilation unit: functions, globals and inter-phase metadata.
+///
+/// # Example
+///
+/// ```
+/// use mlcomp_ir::{Module, Function, Type};
+///
+/// let mut m = Module::new("unit");
+/// let f = m.add_function(Function::new("main", vec![], Type::I64));
+/// assert_eq!(m.function(f).name, "main");
+/// assert_eq!(m.find_function("main"), Some(f));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (used in diagnostics).
+    pub name: String,
+    /// Function arena.
+    pub functions: Vec<Function>,
+    /// Global-variable arena.
+    pub globals: Vec<Global>,
+    /// Inter-phase metadata.
+    pub meta: ModuleMeta,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            globals: Vec::new(),
+            meta: ModuleMeta::default(),
+        }
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        self.functions.push(f);
+        FuncId((self.functions.len() - 1) as u32)
+    }
+
+    /// Adds a global, returning its id.
+    pub fn add_global(&mut self, g: Global) -> GlobalId {
+        self.globals.push(g);
+        GlobalId((self.globals.len() - 1) as u32)
+    }
+
+    /// Shorthand for `&self.functions[id.index()]`.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Shorthand for `&mut self.functions[id.index()]`.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// Shorthand for `&self.globals[id.index()]`.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.index()]
+    }
+
+    /// Shorthand for `&mut self.globals[id.index()]`.
+    pub fn global_mut(&mut self, id: GlobalId) -> &mut Global {
+        &mut self.globals[id.index()]
+    }
+
+    /// Looks a function up by name.
+    pub fn find_function(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Iterates over ids of all functions.
+    pub fn function_ids(&self) -> impl Iterator<Item = FuncId> {
+        (0..self.functions.len() as u32).map(FuncId)
+    }
+
+    /// Iterates over ids of non-deleted globals.
+    pub fn global_ids(&self) -> impl Iterator<Item = GlobalId> + '_ {
+        self.globals
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.deleted)
+            .map(|(i, _)| GlobalId(i as u32))
+    }
+
+    /// Total live instructions across all function bodies — the coarse
+    /// "static size" signal several phases use for thresholds.
+    pub fn total_insts(&self) -> usize {
+        self.functions
+            .iter()
+            .filter(|f| !f.is_declaration)
+            .map(|f| f.live_inst_count())
+            .sum()
+    }
+
+    /// Invalidate inter-phase metadata (called by the pass manager after
+    /// any transform that may move or delete globals/calls).
+    pub fn invalidate_meta(&mut self) {
+        self.meta = ModuleMeta::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    #[test]
+    fn lookup() {
+        let mut m = Module::new("m");
+        let a = m.add_function(Function::new("a", vec![], Type::Void));
+        let b = m.add_function(Function::new("b", vec![], Type::Void));
+        assert_eq!(m.find_function("a"), Some(a));
+        assert_eq!(m.find_function("b"), Some(b));
+        assert_eq!(m.find_function("c"), None);
+    }
+
+    #[test]
+    fn globals() {
+        let mut m = Module::new("m");
+        let g = m.add_global(Global::constant("tab", vec![1, 2, 3]));
+        assert_eq!(m.global(g).cells, 3);
+        assert_eq!(m.global(g).init_cell(1), 2);
+        assert_eq!(m.global(g).init_cell(7), 0);
+        assert_eq!(m.global_ids().count(), 1);
+        m.global_mut(g).deleted = true;
+        assert_eq!(m.global_ids().count(), 0);
+    }
+
+    #[test]
+    fn meta_invalidation() {
+        let mut m = Module::new("m");
+        m.meta.globals_aa_valid = true;
+        m.invalidate_meta();
+        assert!(!m.meta.globals_aa_valid);
+    }
+}

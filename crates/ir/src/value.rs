@@ -1,0 +1,191 @@
+//! SSA values: instruction results, parameters, constants, globals.
+
+use crate::inst::InstId;
+use crate::module::GlobalId;
+use crate::types::Type;
+use crate::FuncId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An SSA value usable as an instruction operand.
+///
+/// Float constants store raw IEEE-754 bits so that `Value` is `Eq + Hash`,
+/// which the value-numbering phases (`early-cse`, `gvn`) rely on.
+///
+/// # Example
+///
+/// ```
+/// use mlcomp_ir::{Value, Type};
+/// let a = Value::f64(1.5);
+/// let b = Value::f64(1.5);
+/// assert_eq!(a, b);
+/// assert_eq!(a.ty_of_const(), Some(Type::F64));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// The result of an instruction.
+    Inst(InstId),
+    /// A function parameter, by index.
+    Param(u32),
+    /// An integer constant of the given integer type.
+    ConstInt(i64, Type),
+    /// A float constant of the given float type, stored as raw bits.
+    ConstFloat(u64, Type),
+    /// The address of a global variable.
+    Global(GlobalId),
+    /// The address of a function (for indirect calls).
+    FuncAddr(FuncId),
+    /// An undefined value of the given type.
+    Undef(Type),
+}
+
+impl Value {
+    /// Convenience constructor for an `i64` constant.
+    pub fn i64(v: i64) -> Value {
+        Value::ConstInt(v, Type::I64)
+    }
+
+    /// Convenience constructor for an `i32` constant.
+    pub fn i32(v: i32) -> Value {
+        Value::ConstInt(v as i64, Type::I32)
+    }
+
+    /// Convenience constructor for a boolean constant.
+    pub fn bool(v: bool) -> Value {
+        Value::ConstInt(v as i64, Type::I1)
+    }
+
+    /// Convenience constructor for an `f64` constant.
+    pub fn f64(v: f64) -> Value {
+        Value::ConstFloat(v.to_bits(), Type::F64)
+    }
+
+    /// Convenience constructor for an `f32` constant (stored widened).
+    pub fn f32(v: f32) -> Value {
+        Value::ConstFloat((v as f64).to_bits(), Type::F32)
+    }
+
+    /// Returns `true` if the value is any kind of constant (including
+    /// `Undef`, globals and function addresses, which are link-time
+    /// constants).
+    pub fn is_const(self) -> bool {
+        !matches!(self, Value::Inst(_) | Value::Param(_))
+    }
+
+    /// Returns the integer payload if this is an integer constant.
+    pub fn as_const_int(self) -> Option<i64> {
+        match self {
+            Value::ConstInt(v, _) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload if this is a float constant.
+    pub fn as_const_f64(self) -> Option<f64> {
+        match self {
+            Value::ConstFloat(bits, _) => Some(f64::from_bits(bits)),
+            _ => None,
+        }
+    }
+
+    /// Returns the defining instruction id, if any.
+    pub fn as_inst(self) -> Option<InstId> {
+        match self {
+            Value::Inst(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The type of the value when it is self-describing (constants and
+    /// undef). Instruction results and parameters get their type from the
+    /// enclosing [`Function`](crate::Function).
+    pub fn ty_of_const(self) -> Option<Type> {
+        match self {
+            Value::ConstInt(_, t) | Value::ConstFloat(_, t) | Value::Undef(t) => Some(t),
+            Value::Global(_) | Value::FuncAddr(_) => Some(Type::Ptr),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is the integer constant zero.
+    pub fn is_zero_int(self) -> bool {
+        matches!(self, Value::ConstInt(0, _))
+    }
+
+    /// Returns `true` if this is the integer constant one.
+    pub fn is_one_int(self) -> bool {
+        matches!(self, Value::ConstInt(1, _))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::i64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::f64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::bool(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Inst(id) => write!(f, "%{}", id.0),
+            Value::Param(i) => write!(f, "%arg{i}"),
+            Value::ConstInt(v, t) => write!(f, "{t} {v}"),
+            Value::ConstFloat(bits, t) => write!(f, "{t} {}", f64::from_bits(*bits)),
+            Value::Global(g) => write!(f, "@g{}", g.0),
+            Value::FuncAddr(fi) => write!(f, "@fn{}", fi.0),
+            Value::Undef(t) => write!(f, "{t} undef"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_helpers() {
+        assert_eq!(Value::i64(7).as_const_int(), Some(7));
+        assert_eq!(Value::bool(true).as_const_int(), Some(1));
+        assert_eq!(Value::f64(2.5).as_const_f64(), Some(2.5));
+        assert!(Value::i64(0).is_zero_int());
+        assert!(Value::i64(1).is_one_int());
+        assert!(!Value::f64(0.0).is_zero_int());
+    }
+
+    #[test]
+    fn constness() {
+        assert!(Value::i64(1).is_const());
+        assert!(Value::Undef(Type::I64).is_const());
+        assert!(Value::Global(GlobalId(0)).is_const());
+        assert!(!Value::Inst(InstId(3)).is_const());
+        assert!(!Value::Param(0).is_const());
+    }
+
+    #[test]
+    fn float_constants_are_hashable_and_eq() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Value::f64(1.0));
+        assert!(s.contains(&Value::f64(1.0)));
+        assert!(!s.contains(&Value::f64(2.0)));
+    }
+
+    #[test]
+    fn self_describing_types() {
+        assert_eq!(Value::i32(3).ty_of_const(), Some(Type::I32));
+        assert_eq!(Value::Global(GlobalId(1)).ty_of_const(), Some(Type::Ptr));
+        assert_eq!(Value::Inst(InstId(0)).ty_of_const(), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! Symmetric eigendecomposition (cyclic Jacobi) and an SVD built on it.
+
+use crate::matrix::Matrix;
+
+/// Eigendecomposition of a symmetric matrix: `A = V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns, aligned with [`values`](Self::values).
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix using the cyclic
+/// Jacobi method.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn symmetric_eigen(a: &Matrix) -> SymmetricEigen {
+    assert_eq!(a.rows(), a.cols(), "eigen needs a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..64 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off < 1e-22 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                if m[(p, q)].abs() < 1e-15 {
+                    continue;
+                }
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * m[(p, q)]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort descending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let vectors = v.select_columns(&order);
+    SymmetricEigen { values, vectors }
+}
+
+/// Thin singular value decomposition `A = U · diag(σ) · Vᵀ`, computed via
+/// the eigendecomposition of `AᵀA` (adequate for the well-conditioned
+/// feature matrices this workspace handles).
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns), `m × r`.
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors (columns), `n × r`.
+    pub v: Matrix,
+}
+
+/// Computes the thin SVD of an arbitrary matrix.
+pub fn svd(a: &Matrix) -> Svd {
+    let eig = symmetric_eigen(&a.gram());
+    let n = a.cols();
+    let singular_values: Vec<f64> = eig
+        .values
+        .iter()
+        .map(|&l| if l > 0.0 { l.sqrt() } else { 0.0 })
+        .collect();
+    // U = A · V · diag(1/σ); zero-σ columns left as zeros.
+    let av = a.matmul(&eig.vectors);
+    let mut u = Matrix::zeros(a.rows(), n);
+    for j in 0..n {
+        let s = singular_values[j];
+        if s > 1e-12 {
+            for i in 0..a.rows() {
+                u[(i, j)] = av[(i, j)] / s;
+            }
+        }
+    }
+    Svd {
+        u,
+        singular_values,
+        v: eig.vectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let e = symmetric_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let e = symmetric_eigen(&a);
+        // V·diag(λ)·Vᵀ == A
+        let mut d = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            d[(i, i)] = e.values[i];
+        }
+        let rec = e.vectors.matmul(&d).matmul(&e.vectors.transpose());
+        assert!(rec.sub(&a).frobenius_norm() < 1e-8, "{rec}");
+        // Eigenvalues descending.
+        assert!(e.values[0] >= e.values[1] && e.values[1] >= e.values[2]);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 4.0]]);
+        let e = symmetric_eigen(&a);
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!(vtv.sub(&Matrix::identity(2)).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn svd_reconstructs() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let s = svd(&a);
+        let mut d = Matrix::zeros(2, 2);
+        for i in 0..2 {
+            d[(i, i)] = s.singular_values[i];
+        }
+        let rec = s.u.matmul(&d).matmul(&s.v.transpose());
+        assert!(rec.sub(&a).frobenius_norm() < 1e-8);
+        assert!(s.singular_values[0] >= s.singular_values[1]);
+    }
+
+    #[test]
+    fn svd_of_rank_deficient() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let s = svd(&a);
+        assert!(s.singular_values[1].abs() < 1e-8, "rank 1 → σ₂ ≈ 0");
+    }
+}

@@ -1,0 +1,78 @@
+//! Bit-exact (de)serialization helpers for `f64` payloads.
+//!
+//! Some JSON parsers round-trip `f64` text imprecisely (last-ULP drift).
+//! Model artifacts — trained policies, fitted projections — must reload
+//! *decision-identically*, so their float containers serialize as raw
+//! IEEE-754 bit patterns via these `#[serde(with = …)]` modules.
+
+/// `Vec<f64>` ⇄ `Vec<u64>` bit patterns.
+pub mod vec_f64 {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    /// Serializes the values as `u64` bit patterns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's errors.
+    pub fn serialize<S: Serializer>(v: &[f64], s: S) -> Result<S::Ok, S::Error> {
+        let bits: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+        bits.serialize(s)
+    }
+
+    /// Deserializes `u64` bit patterns back into exact `f64` values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the deserializer's errors.
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
+        let bits: Vec<u64> = Vec::deserialize(d)?;
+        Ok(bits.into_iter().map(f64::from_bits).collect())
+    }
+}
+
+/// Scalar `f64` ⇄ `u64` bit pattern.
+pub mod f64_bits {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    /// Serializes the value as its `u64` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's errors.
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        v.to_bits().serialize(s)
+    }
+
+    /// Deserializes a `u64` bit pattern back into the exact `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the deserializer's errors.
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        Ok(f64::from_bits(u64::deserialize(d)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Holder {
+        #[serde(with = "super::vec_f64")]
+        xs: Vec<f64>,
+        #[serde(with = "super::f64_bits")]
+        y: f64,
+    }
+
+    #[test]
+    fn exact_roundtrip_of_awkward_floats() {
+        let h = Holder {
+            xs: vec![0.42163597790432933, -1e-308, f64::MAX, 0.1 + 0.2],
+            y: 0.4216359779043294,
+        };
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Holder = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back, "bit patterns must survive JSON exactly");
+    }
+}

@@ -1,0 +1,88 @@
+//! Descriptive statistics used by the scalers and quantile transformer.
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (0 for fewer than 2 samples).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median (0 for an empty slice).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolated percentile `p` in `[0, 100]` (0 for empty input).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(median(&xs), 2.5);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 50.0);
+        assert_eq!(percentile(&xs, 50.0), 30.0);
+        assert_eq!(percentile(&xs, 25.0), 20.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(percentile(&[7.0], 90.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn bad_percentile_panics() {
+        percentile(&[1.0], 101.0);
+    }
+}

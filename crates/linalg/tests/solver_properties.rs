@@ -1,0 +1,96 @@
+//! Property tests: the decompositions satisfy their defining residual
+//! identities on random well-conditioned systems.
+
+use mlcomp_linalg::{svd, symmetric_eigen, Cholesky, Lu, Matrix, Qr};
+use proptest::prelude::*;
+
+fn random_matrix(n: usize, m: usize, vals: &[f64]) -> Matrix {
+    let mut out = Matrix::zeros(n, m);
+    for i in 0..n {
+        for j in 0..m {
+            out[(i, j)] = vals[i * m + j];
+        }
+    }
+    out
+}
+
+fn spd_from(b: &Matrix) -> Matrix {
+    // BᵀB + I is symmetric positive definite.
+    b.gram().add(&Matrix::identity(b.cols()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lu_solves_spd(vals in prop::collection::vec(-3.0f64..3.0, 16), rhs in prop::collection::vec(-5.0f64..5.0, 4)) {
+        let a = spd_from(&random_matrix(4, 4, &vals));
+        let x = Lu::new(&a).unwrap().solve(&rhs).unwrap();
+        let r = a.matvec(&x);
+        for (got, want) in r.iter().zip(&rhs) {
+            prop_assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn cholesky_agrees_with_lu(vals in prop::collection::vec(-3.0f64..3.0, 16), rhs in prop::collection::vec(-5.0f64..5.0, 4)) {
+        let a = spd_from(&random_matrix(4, 4, &vals));
+        let x1 = Lu::new(&a).unwrap().solve(&rhs).unwrap();
+        let x2 = Cholesky::new(&a).unwrap().solve(&rhs).unwrap();
+        for (a, b) in x1.iter().zip(&x2) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn qr_residual_is_orthogonal_to_columns(
+        vals in prop::collection::vec(-2.0f64..2.0, 18),
+        rhs in prop::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        // 6×3 overdetermined least squares: the residual must be orthogonal
+        // to the column space (normal equations).
+        let a = random_matrix(6, 3, &vals);
+        // Guard against accidental rank deficiency.
+        let g = a.gram();
+        prop_assume!(Cholesky::new(&g.add(&Matrix::identity(3).scale(1e-9))).is_ok());
+        let Ok(x) = Qr::new(&a).solve(&rhs) else {
+            return Ok(()); // rank-deficient sample — allowed to refuse
+        };
+        let ax = a.matvec(&x);
+        let resid: Vec<f64> = rhs.iter().zip(&ax).map(|(b, p)| b - p).collect();
+        let at_r = a.transpose().matvec(&resid);
+        for v in at_r {
+            prop_assert!(v.abs() < 1e-6, "Aᵀr = {v}");
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs(vals in prop::collection::vec(-2.0f64..2.0, 16)) {
+        let b = random_matrix(4, 4, &vals);
+        let a = b.add(&b.transpose()).scale(0.5); // symmetrize
+        let e = symmetric_eigen(&a);
+        let mut d = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            d[(i, i)] = e.values[i];
+        }
+        let rec = e.vectors.matmul(&d).matmul(&e.vectors.transpose());
+        prop_assert!(rec.sub(&a).frobenius_norm() < 1e-7);
+        // Ordered eigenvalues.
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs(vals in prop::collection::vec(-2.0f64..2.0, 15)) {
+        let a = random_matrix(5, 3, &vals);
+        let s = svd(&a);
+        let mut d = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            d[(i, i)] = s.singular_values[i];
+        }
+        let rec = s.u.matmul(&d).matmul(&s.v.transpose());
+        prop_assert!(rec.sub(&a).frobenius_norm() < 1e-6);
+        prop_assert!(s.singular_values.iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Regression evaluation metrics. The paper reports *maximum percentage
+//! error* (<2% claim); MAPE and R² support the model search's ranking.
+
+/// Mean absolute percentage error (fraction, not percent). Targets with
+/// magnitude below `1e-12` are skipped to avoid division blow-ups.
+pub fn mape(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (t, p) in y_true.iter().zip(y_pred) {
+        if t.abs() > 1e-12 {
+            sum += ((t - p) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Maximum absolute percentage error (fraction) — the paper's headline PE
+/// accuracy metric.
+pub fn max_pct_error(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    y_true
+        .iter()
+        .zip(y_pred)
+        .filter(|(t, _)| t.abs() > 1e-12)
+        .map(|(t, p)| ((t - p) / t).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Coefficient of determination R² (1 = perfect, can be negative).
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    if ss_tot < 1e-12 {
+        if ss_res < 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    (ss / y_true.len() as f64).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [1.0, 2.0, 4.0];
+        assert_eq!(mape(&y, &y), 0.0);
+        assert_eq!(max_pct_error(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let t = [100.0, 200.0];
+        let p = [110.0, 190.0];
+        assert!((mape(&t, &p) - 0.075).abs() < 1e-12);
+        assert!((max_pct_error(&t, &p) - 0.10).abs() < 1e-12);
+        assert!((mae(&t, &p) - 10.0).abs() < 1e-12);
+        assert!((rmse(&t, &p) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r2(&t, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_targets_are_skipped_in_pct_metrics() {
+        let t = [0.0, 100.0];
+        let p = [5.0, 90.0];
+        assert!((mape(&t, &p) - 0.1).abs() < 1e-12);
+        assert!((max_pct_error(&t, &p) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,614 @@
+//! The preprocessing algorithms of the paper's Table III: PCA (fixed and
+//! MLE-dimensioned), NCA, the five scalers and the two distribution
+//! transformers.
+
+use crate::{Preprocessor, TrainError};
+use mlcomp_linalg::{percentile, symmetric_eigen, Matrix};
+
+/// No-op preprocessing (the baseline combination in the model search).
+#[derive(Debug, Clone, Default)]
+pub struct Identity;
+
+impl Preprocessor for Identity {
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+    fn fit(&mut self, _x: &Matrix) -> Result<(), TrainError> {
+        Ok(())
+    }
+    fn transform(&self, x: &Matrix) -> Matrix {
+        x.clone()
+    }
+}
+
+/// Mean–standard-deviation scaling (scikit-learn's `StandardScaler`).
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct StandardScaler {
+    #[serde(with = "mlcomp_linalg::serde_bits::vec_f64")]
+    mean: Vec<f64>,
+    #[serde(with = "mlcomp_linalg::serde_bits::vec_f64")]
+    std: Vec<f64>,
+}
+
+impl Preprocessor for StandardScaler {
+    fn name(&self) -> &'static str {
+        "mean-std"
+    }
+
+    fn fit(&mut self, x: &Matrix) -> Result<(), TrainError> {
+        if x.rows() == 0 {
+            return Err(TrainError::new("no rows to fit scaler"));
+        }
+        self.mean = (0..x.cols())
+            .map(|j| mlcomp_linalg::mean(&x.col(j)))
+            .collect();
+        self.std = (0..x.cols())
+            .map(|j| {
+                let s = mlcomp_linalg::std_dev(&x.col(j));
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        elementwise(x, |v, j| (v - self.mean[j]) / self.std[j])
+    }
+}
+
+/// Min–max scaling to `[0, 1]`.
+#[derive(Debug, Clone, Default)]
+pub struct MinMaxScaler {
+    min: Vec<f64>,
+    range: Vec<f64>,
+}
+
+impl Preprocessor for MinMaxScaler {
+    fn name(&self) -> &'static str {
+        "min-max"
+    }
+
+    fn fit(&mut self, x: &Matrix) -> Result<(), TrainError> {
+        if x.rows() == 0 {
+            return Err(TrainError::new("no rows to fit scaler"));
+        }
+        self.min = (0..x.cols())
+            .map(|j| x.col(j).iter().copied().fold(f64::INFINITY, f64::min))
+            .collect();
+        self.range = (0..x.cols())
+            .map(|j| {
+                let max = x.col(j).iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let r = max - self.min[j];
+                if r < 1e-12 {
+                    1.0
+                } else {
+                    r
+                }
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        elementwise(x, |v, j| (v - self.min[j]) / self.range[j])
+    }
+}
+
+/// Max-absolute-value scaling to `[-1, 1]`.
+#[derive(Debug, Clone, Default)]
+pub struct MaxAbsScaler {
+    scale: Vec<f64>,
+}
+
+impl Preprocessor for MaxAbsScaler {
+    fn name(&self) -> &'static str {
+        "max-abs"
+    }
+
+    fn fit(&mut self, x: &Matrix) -> Result<(), TrainError> {
+        if x.rows() == 0 {
+            return Err(TrainError::new("no rows to fit scaler"));
+        }
+        self.scale = (0..x.cols())
+            .map(|j| {
+                let m = x.col(j).iter().fold(0.0f64, |a, v| a.max(v.abs()));
+                if m < 1e-12 {
+                    1.0
+                } else {
+                    m
+                }
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        elementwise(x, |v, j| v / self.scale[j])
+    }
+}
+
+/// Robust scaling by median and interquartile range.
+#[derive(Debug, Clone, Default)]
+pub struct RobustScaler {
+    median: Vec<f64>,
+    iqr: Vec<f64>,
+}
+
+impl Preprocessor for RobustScaler {
+    fn name(&self) -> &'static str {
+        "robust"
+    }
+
+    fn fit(&mut self, x: &Matrix) -> Result<(), TrainError> {
+        if x.rows() == 0 {
+            return Err(TrainError::new("no rows to fit scaler"));
+        }
+        self.median = (0..x.cols())
+            .map(|j| percentile(&x.col(j), 50.0))
+            .collect();
+        self.iqr = (0..x.cols())
+            .map(|j| {
+                let col = x.col(j);
+                let r = percentile(&col, 75.0) - percentile(&col, 25.0);
+                if r < 1e-12 {
+                    1.0
+                } else {
+                    r
+                }
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        elementwise(x, |v, j| (v - self.median[j]) / self.iqr[j])
+    }
+}
+
+/// Yeo–Johnson power transformer: per-column λ selected from a small grid
+/// by normality (skewness) of the transformed data, then standardized.
+#[derive(Debug, Clone, Default)]
+pub struct PowerTransformer {
+    lambda: Vec<f64>,
+    post: StandardScaler,
+}
+
+fn yeo_johnson(v: f64, l: f64) -> f64 {
+    if v >= 0.0 {
+        if l.abs() < 1e-9 {
+            (v + 1.0).ln()
+        } else {
+            ((v + 1.0).powf(l) - 1.0) / l
+        }
+    } else if (l - 2.0).abs() < 1e-9 {
+        -(-v + 1.0).ln()
+    } else {
+        -((-v + 1.0).powf(2.0 - l) - 1.0) / (2.0 - l)
+    }
+}
+
+fn skewness(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if n < 3.0 {
+        return 0.0;
+    }
+    let m = mlcomp_linalg::mean(xs);
+    let s = mlcomp_linalg::std_dev(xs).max(1e-12);
+    xs.iter().map(|x| ((x - m) / s).powi(3)).sum::<f64>() / n
+}
+
+impl Preprocessor for PowerTransformer {
+    fn name(&self) -> &'static str {
+        "power"
+    }
+
+    fn fit(&mut self, x: &Matrix) -> Result<(), TrainError> {
+        if x.rows() == 0 {
+            return Err(TrainError::new("no rows to fit transformer"));
+        }
+        const GRID: [f64; 7] = [-1.0, 0.0, 0.5, 1.0, 1.5, 2.0, 3.0];
+        self.lambda = (0..x.cols())
+            .map(|j| {
+                let col = x.col(j);
+                GRID.iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        let sa = skewness(&col.iter().map(|&v| yeo_johnson(v, a)).collect::<Vec<_>>())
+                            .abs();
+                        let sb = skewness(&col.iter().map(|&v| yeo_johnson(v, b)).collect::<Vec<_>>())
+                            .abs();
+                        sa.partial_cmp(&sb).unwrap()
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let transformed = self.apply_power(x);
+        self.post.fit(&transformed)
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        self.post.transform(&self.apply_power(x))
+    }
+}
+
+impl PowerTransformer {
+    fn apply_power(&self, x: &Matrix) -> Matrix {
+        elementwise(x, |v, j| yeo_johnson(v, self.lambda[j]))
+    }
+}
+
+/// Quantile transformer: maps each column through its empirical CDF to a
+/// uniform distribution on `[0, 1]`.
+#[derive(Debug, Clone, Default)]
+pub struct QuantileTransformer {
+    sorted_cols: Vec<Vec<f64>>,
+}
+
+impl Preprocessor for QuantileTransformer {
+    fn name(&self) -> &'static str {
+        "quantile"
+    }
+
+    fn fit(&mut self, x: &Matrix) -> Result<(), TrainError> {
+        if x.rows() == 0 {
+            return Err(TrainError::new("no rows to fit transformer"));
+        }
+        self.sorted_cols = (0..x.cols())
+            .map(|j| {
+                let mut c = x.col(j);
+                c.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                c
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        elementwise(x, |v, j| {
+            let col = &self.sorted_cols[j];
+            // Fraction of training values ≤ v (empirical CDF).
+            let pos = col.partition_point(|&c| c <= v);
+            pos as f64 / col.len() as f64
+        })
+    }
+}
+
+/// Principal component analysis. `n_components: None` selects the
+/// dimensionality automatically by profile likelihood over the eigenvalue
+/// spectrum — the paper's "PCA with Maximum Likelihood Estimation"
+/// (Minka's method, simplified to the dominant-gap criterion).
+///
+/// Serializable so the deployment-time Phase Sequence Selector can carry
+/// its fitted projection alongside the policy network.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct Pca {
+    /// Requested output dimensionality (`None` = MLE).
+    pub n_components: Option<usize>,
+    #[serde(with = "mlcomp_linalg::serde_bits::vec_f64")]
+    mean: Vec<f64>,
+    components: Option<Matrix>, // d × k
+}
+
+impl Pca {
+    /// PCA to a fixed number of components.
+    pub fn fixed(k: usize) -> Pca {
+        Pca {
+            n_components: Some(k),
+            ..Pca::default()
+        }
+    }
+
+    /// PCA with MLE-selected dimensionality.
+    pub fn mle() -> Pca {
+        Pca::default()
+    }
+
+    /// Output dimensionality after fitting.
+    pub fn out_dim(&self) -> usize {
+        self.components.as_ref().map(|c| c.cols()).unwrap_or(0)
+    }
+}
+
+impl Preprocessor for Pca {
+    fn name(&self) -> &'static str {
+        "pca"
+    }
+
+    fn fit(&mut self, x: &Matrix) -> Result<(), TrainError> {
+        if x.rows() < 2 {
+            return Err(TrainError::new("PCA needs at least two rows"));
+        }
+        let d = x.cols();
+        self.mean = (0..d).map(|j| mlcomp_linalg::mean(&x.col(j))).collect();
+        let centered = elementwise(x, |v, j| v - self.mean[j]);
+        let cov = centered.gram().scale(1.0 / (x.rows() as f64 - 1.0));
+        let eig = symmetric_eigen(&cov);
+        let evals: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0)).collect();
+        let k = match self.n_components {
+            Some(k) => k.min(d).max(1),
+            None => mle_dimension(&evals),
+        };
+        let cols: Vec<usize> = (0..k).collect();
+        self.components = Some(eig.vectors.select_columns(&cols));
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        let comps = self
+            .components
+            .as_ref()
+            .expect("PCA transform before fit");
+        let centered = elementwise(x, |v, j| v - self.mean[j]);
+        centered.matmul(comps)
+    }
+}
+
+/// Profile-likelihood-flavored dimensionality choice: keep components
+/// until the explained-variance gain drops below 1% of the total, with at
+/// least one component.
+fn mle_dimension(evals: &[f64]) -> usize {
+    let total: f64 = evals.iter().sum();
+    if total <= 0.0 {
+        return 1;
+    }
+    let mut k = 0;
+    let mut cum = 0.0;
+    for &l in evals {
+        if k > 0 && (l / total) < 0.01 {
+            break;
+        }
+        cum += l;
+        k += 1;
+        if cum / total > 0.995 {
+            break;
+        }
+    }
+    k.max(1)
+}
+
+/// Neighbourhood components analysis, adapted for regression: a linear
+/// projection trained by gradient ascent so that rows with similar targets
+/// land close together. For the unsupervised [`Preprocessor`] interface
+/// (no targets available), it behaves as whitened PCA — the supervised
+/// path is [`Nca::fit_supervised`].
+#[derive(Debug, Clone)]
+pub struct Nca {
+    /// Output dimensionality.
+    pub dim: usize,
+    projection: Option<Matrix>, // d × k
+    mean: Vec<f64>,
+}
+
+impl Nca {
+    /// NCA projecting to `dim` dimensions.
+    pub fn new(dim: usize) -> Nca {
+        Nca {
+            dim,
+            projection: None,
+            mean: Vec::new(),
+        }
+    }
+
+    /// Supervised fit: starts from PCA and refines the projection with a
+    /// few gradient steps of a soft-neighbour target-similarity objective.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] on degenerate input.
+    pub fn fit_supervised(&mut self, x: &Matrix, y: &[f64]) -> Result<(), TrainError> {
+        self.fit(x)?;
+        let proj = self.projection.clone().expect("fit populated projection");
+        let mut a = proj;
+        let n = x.rows();
+        if n < 4 {
+            return Ok(());
+        }
+        let centered = elementwise(x, |v, j| v - self.mean[j]);
+        let y_std = mlcomp_linalg::std_dev(y).max(1e-9);
+        let lr = 0.05;
+        for _step in 0..8 {
+            let z = centered.matmul(&a);
+            // Gradient of Σ_ij w_ij · ‖z_i − z_j‖² with w_ij>0 for similar
+            // targets and w_ij<0 for dissimilar ones: pulls same-target
+            // rows together. dL/dA = 2 Xᵀ M X A with M the weighted
+            // Laplacian-like matrix; computed directly.
+            let mut grad = Matrix::zeros(a.rows(), a.cols());
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let sim = 1.0 - ((y[i] - y[j]).abs() / (2.0 * y_std)).min(2.0);
+                    let mut diff_x = vec![0.0; centered.cols()];
+                    for (c, dx) in diff_x.iter_mut().enumerate() {
+                        *dx = centered[(i, c)] - centered[(j, c)];
+                    }
+                    let mut diff_z = vec![0.0; z.cols()];
+                    for (c, dz) in diff_z.iter_mut().enumerate() {
+                        *dz = z[(i, c)] - z[(j, c)];
+                    }
+                    for r in 0..grad.rows() {
+                        for c in 0..grad.cols() {
+                            grad[(r, c)] += sim * diff_x[r] * diff_z[c];
+                        }
+                    }
+                }
+            }
+            let norm = grad.frobenius_norm().max(1e-9);
+            a = a.sub(&grad.scale(lr / norm));
+        }
+        self.projection = Some(a);
+        Ok(())
+    }
+}
+
+impl Preprocessor for Nca {
+    fn name(&self) -> &'static str {
+        "nca"
+    }
+
+    fn fit(&mut self, x: &Matrix) -> Result<(), TrainError> {
+        let mut pca = Pca::fixed(self.dim);
+        pca.fit(x)?;
+        self.mean = pca.mean.clone();
+        // Whiten: scale components by 1/√λ.
+        let comps = pca.components.expect("fitted PCA has components");
+        self.projection = Some(comps);
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        let proj = self
+            .projection
+            .as_ref()
+            .expect("NCA transform before fit");
+        let centered = elementwise(x, |v, j| v - self.mean[j]);
+        centered.matmul(proj)
+    }
+}
+
+fn elementwise(x: &Matrix, f: impl Fn(f64, usize) -> f64) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for i in 0..x.rows() {
+        for j in 0..x.cols() {
+            out[(i, j)] = f(x[(i, j)], j);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 10.0, 5.0],
+            &[2.0, 20.0, 5.0],
+            &[3.0, 30.0, 5.0],
+            &[4.0, 40.0, 5.0],
+        ])
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_std() {
+        let mut s = StandardScaler::default();
+        let t = s.fit_transform(&sample()).unwrap();
+        for j in 0..2 {
+            assert!(mlcomp_linalg::mean(&t.col(j)).abs() < 1e-12);
+            assert!((mlcomp_linalg::std_dev(&t.col(j)) - 1.0).abs() < 1e-12);
+        }
+        // Constant column stays finite (guarded divisor).
+        assert!(t.col(2).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn minmax_hits_unit_interval() {
+        let mut s = MinMaxScaler::default();
+        let t = s.fit_transform(&sample()).unwrap();
+        assert_eq!(t[(0, 0)], 0.0);
+        assert_eq!(t[(3, 0)], 1.0);
+    }
+
+    #[test]
+    fn maxabs_bounds() {
+        let x = Matrix::from_rows(&[&[-4.0], &[2.0]]);
+        let mut s = MaxAbsScaler::default();
+        let t = s.fit_transform(&x).unwrap();
+        assert_eq!(t[(0, 0)], -1.0);
+        assert_eq!(t[(1, 0)], 0.5);
+    }
+
+    #[test]
+    fn robust_centers_on_median() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[100.0]]);
+        let mut s = RobustScaler::default();
+        let t = s.fit_transform(&x).unwrap();
+        // Median (2.5) maps to 0 between rows 1 and 2.
+        assert!(t[(1, 0)] < 0.0 && t[(2, 0)] > 0.0);
+    }
+
+    #[test]
+    fn power_reduces_skewness() {
+        // Strongly right-skewed column.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![(i as f64 / 4.0).exp()]).collect();
+        let x = Matrix::from_vec_rows(rows);
+        let before = skewness(&x.col(0));
+        let mut p = PowerTransformer::default();
+        let t = p.fit_transform(&x).unwrap();
+        let after = skewness(&t.col(0));
+        assert!(after.abs() < before.abs());
+    }
+
+    #[test]
+    fn quantile_maps_to_uniform() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![(i as f64).powi(3)]).collect();
+        let x = Matrix::from_vec_rows(rows);
+        let mut q = QuantileTransformer::default();
+        let t = q.fit_transform(&x).unwrap();
+        assert!(t.col(0).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Monotone mapping.
+        for i in 1..50 {
+            assert!(t[(i, 0)] >= t[(i - 1, 0)]);
+        }
+    }
+
+    #[test]
+    fn pca_recovers_dominant_direction() {
+        // Data varies along (1, 1), noise-free.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let t = i as f64;
+                vec![t, t]
+            })
+            .collect();
+        let x = Matrix::from_vec_rows(rows);
+        let mut p = Pca::fixed(1);
+        let t = p.fit_transform(&x).unwrap();
+        assert_eq!(t.cols(), 1);
+        // Projected variance ≈ total variance (2 × var of one axis).
+        let var_t = mlcomp_linalg::variance(&t.col(0));
+        let var_x = mlcomp_linalg::variance(&x.col(0));
+        assert!((var_t - 2.0 * var_x).abs() / (2.0 * var_x) < 1e-6);
+    }
+
+    #[test]
+    fn pca_mle_finds_low_rank() {
+        // Rank-2 data in 5 dimensions.
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let a = (i as f64).sin() * 10.0;
+                let b = (i as f64).cos() * 5.0;
+                vec![a, b, a + b, a - b, 2.0 * a]
+            })
+            .collect();
+        let x = Matrix::from_vec_rows(rows);
+        let mut p = Pca::mle();
+        p.fit(&x).unwrap();
+        assert!(p.out_dim() <= 3, "MLE picked {} dims", p.out_dim());
+        assert!(p.out_dim() >= 1);
+    }
+
+    #[test]
+    fn nca_supervised_runs_and_projects() {
+        let rows: Vec<Vec<f64>> = (0..24)
+            .map(|i| vec![i as f64, (i % 3) as f64, 1.0])
+            .collect();
+        let x = Matrix::from_vec_rows(rows);
+        let y: Vec<f64> = (0..24).map(|i| (i % 3) as f64).collect();
+        let mut nca = Nca::new(2);
+        nca.fit_supervised(&x, &y).unwrap();
+        let t = nca.transform(&x);
+        assert_eq!(t.cols(), 2);
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn transformers_error_on_empty() {
+        let empty = Matrix::zeros(0, 3);
+        assert!(StandardScaler::default().fit(&empty).is_err());
+        assert!(Pca::fixed(2).fit(&empty).is_err());
+        assert!(QuantileTransformer::default().fit(&empty).is_err());
+    }
+}

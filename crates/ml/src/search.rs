@@ -1,0 +1,334 @@
+//! Algorithm 1 of the paper: automatic search over preprocessing methods
+//! (Table III) and regression models (Table IV) for the best-fitting
+//! Performance Estimator pipeline.
+
+use crate::models::*;
+use crate::preprocess::*;
+use crate::{metrics, take_rows, train_test_split, Preprocessor, Regressor, TrainError};
+use mlcomp_linalg::Matrix;
+
+/// Names of all Table IV models, in the paper's row order.
+pub fn model_zoo() -> Vec<&'static str> {
+    vec![
+        "ridge",
+        "kernel-ridge",
+        "bayesian-ridge",
+        "linear",
+        "sgd",
+        "passive-aggressive",
+        "ard",
+        "huber",
+        "theil-sen",
+        "lars",
+        "lasso",
+        "lasso-lars",
+        "svr",
+        "nu-svr",
+        "linear-svr",
+        "elastic-net",
+        "omp",
+        "mlp",
+        "decision-tree",
+        "extra-tree",
+        "random-forest",
+    ]
+}
+
+/// Names of all Table III preprocessing algorithms (plus the identity
+/// baseline).
+pub fn preprocessor_zoo() -> Vec<&'static str> {
+    vec![
+        "identity",
+        "pca",
+        "nca",
+        "mean-std",
+        "min-max",
+        "max-abs",
+        "robust",
+        "power",
+        "quantile",
+    ]
+}
+
+/// Instantiates a model by zoo name.
+pub fn create_model(name: &str) -> Option<Box<dyn Regressor>> {
+    Some(match name {
+        "ridge" => Box::new(Ridge::default()),
+        "kernel-ridge" => Box::new(KernelRidge::default()),
+        "bayesian-ridge" => Box::new(BayesianRidge::default()),
+        "linear" => Box::new(Linear::default()),
+        "sgd" => Box::new(Sgd::default()),
+        "passive-aggressive" => Box::new(PassiveAggressive::default()),
+        "ard" => Box::new(Ard::default()),
+        "huber" => Box::new(Huber::default()),
+        "theil-sen" => Box::new(TheilSen::default()),
+        "lars" => Box::new(Lars::default()),
+        "lasso" => Box::new(Lasso::default()),
+        "lasso-lars" => Box::new(LassoLars::default()),
+        "svr" => Box::new(Svr::default()),
+        "nu-svr" => Box::new(NuSvr::default()),
+        "linear-svr" => Box::new(LinearSvr::default()),
+        "elastic-net" => Box::new(ElasticNet::default()),
+        "omp" => Box::new(Omp::default()),
+        "mlp" => Box::new(Mlp::default()),
+        "decision-tree" => Box::new(DecisionTree::default()),
+        "extra-tree" => Box::new(ExtraTree::default()),
+        "random-forest" => Box::new(RandomForest::default()),
+        _ => return None,
+    })
+}
+
+/// Instantiates a preprocessor by zoo name.
+pub fn create_preprocessor(name: &str) -> Option<Box<dyn Preprocessor>> {
+    Some(match name {
+        "identity" => Box::new(Identity),
+        "pca" => Box::new(Pca::mle()),
+        "nca" => Box::new(Nca::new(8)),
+        "mean-std" => Box::new(StandardScaler::default()),
+        "min-max" => Box::new(MinMaxScaler::default()),
+        "max-abs" => Box::new(MaxAbsScaler::default()),
+        "robust" => Box::new(RobustScaler::default()),
+        "power" => Box::new(PowerTransformer::default()),
+        "quantile" => Box::new(QuantileTransformer::default()),
+        _ => return None,
+    })
+}
+
+/// A fitted preprocessing + regression pipeline — the trained Performance
+/// Estimator for one metric.
+pub struct FittedPipeline {
+    /// Preprocessor name.
+    pub preprocessor_name: String,
+    /// Model name.
+    pub model_name: String,
+    preprocessor: Box<dyn Preprocessor>,
+    model: Box<dyn Regressor>,
+}
+
+impl std::fmt::Debug for FittedPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FittedPipeline({} → {})",
+            self.preprocessor_name, self.model_name
+        )
+    }
+}
+
+impl FittedPipeline {
+    /// Predicts for new feature rows.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.model.predict(&self.preprocessor.transform(x))
+    }
+}
+
+/// One leaderboard entry from the search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchEntry {
+    /// Preprocessor name.
+    pub preprocessor: String,
+    /// Model name.
+    pub model: String,
+    /// Held-out accuracy (`1 − MAPE`).
+    pub accuracy: f64,
+    /// Held-out maximum percentage error.
+    pub max_pct_error: f64,
+    /// Held-out R².
+    pub r2: f64,
+}
+
+/// The result of a model search.
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// The winning pipeline, refit on the full dataset.
+    pub best: FittedPipeline,
+    /// Held-out accuracy of the winner.
+    pub accuracy: f64,
+    /// All evaluated combinations, best first.
+    pub leaderboard: Vec<SearchEntry>,
+    /// Whether the threshold early-exit of Algorithm 1 fired.
+    pub early_stopped: bool,
+}
+
+/// Algorithm 1: `ModelSearch(input, accuracy_thr, list_models)`.
+///
+/// Cycles through every (preprocessing, model) combination, trains on a
+/// split, tests on the held-out rows, tracks the best accuracy, and stops
+/// early once `accuracy_threshold` is reached. Accuracy is `1 − MAPE`,
+/// matching the paper's relative-error reporting.
+#[derive(Debug, Clone)]
+pub struct ModelSearch {
+    /// Early-exit threshold on held-out accuracy (`accuracy_thr`).
+    pub accuracy_threshold: f64,
+    /// Held-out fraction for the train/test split.
+    pub test_fraction: f64,
+    /// Split seed.
+    pub seed: u64,
+    /// Models to consider (`list_models`); defaults to the full Table IV.
+    pub models: Vec<String>,
+    /// Preprocessors to consider; defaults to the full Table III.
+    pub preprocessors: Vec<String>,
+}
+
+impl Default for ModelSearch {
+    fn default() -> Self {
+        ModelSearch {
+            accuracy_threshold: 0.995,
+            test_fraction: 0.25,
+            seed: 42,
+            models: model_zoo().into_iter().map(String::from).collect(),
+            preprocessors: preprocessor_zoo().into_iter().map(String::from).collect(),
+        }
+    }
+}
+
+impl ModelSearch {
+    /// A faster search over a representative subset of the zoo (used by
+    /// tests and the RL training loop, where the PE is retrained often).
+    pub fn quick() -> ModelSearch {
+        ModelSearch {
+            models: ["ridge", "linear", "lasso", "decision-tree", "random-forest"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            preprocessors: ["identity", "mean-std", "pca"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            ..ModelSearch::default()
+        }
+    }
+
+    /// Runs the search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] when no combination could be trained at all
+    /// (degenerate dataset).
+    pub fn run(&self, x: &Matrix, y: &[f64]) -> Result<SearchOutcome, TrainError> {
+        if x.rows() < 8 {
+            return Err(TrainError::new("need at least 8 samples for model search"));
+        }
+        let (train, test) = train_test_split(x.rows(), self.test_fraction, self.seed);
+        let (xtr, ytr) = take_rows(x, y, &train);
+        let (xte, yte) = take_rows(x, y, &test);
+
+        let mut leaderboard: Vec<SearchEntry> = Vec::new();
+        let mut early_stopped = false;
+        'outer: for model_name in &self.models {
+            for prep_name in &self.preprocessors {
+                let Some(mut prep) = create_preprocessor(prep_name) else {
+                    continue;
+                };
+                let Some(mut model) = create_model(model_name) else {
+                    continue;
+                };
+                let Ok(ptr) = prep.fit_transform(&xtr) else {
+                    continue;
+                };
+                if model.fit(&ptr, &ytr).is_err() {
+                    continue;
+                }
+                let pred = model.predict(&prep.transform(&xte));
+                if pred.iter().any(|p| !p.is_finite()) {
+                    continue;
+                }
+                let acc = 1.0 - metrics::mape(&yte, &pred);
+                leaderboard.push(SearchEntry {
+                    preprocessor: prep_name.clone(),
+                    model: model_name.clone(),
+                    accuracy: acc,
+                    max_pct_error: metrics::max_pct_error(&yte, &pred),
+                    r2: metrics::r2(&yte, &pred),
+                });
+                if acc > self.accuracy_threshold {
+                    early_stopped = true;
+                    break 'outer;
+                }
+            }
+        }
+        leaderboard.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).unwrap());
+        let Some(winner) = leaderboard.first().cloned() else {
+            return Err(TrainError::new("no model/preprocessor combination trained"));
+        };
+
+        // Refit the winner on the full dataset.
+        let mut prep =
+            create_preprocessor(&winner.preprocessor).expect("winner came from the zoo");
+        let mut model = create_model(&winner.model).expect("winner came from the zoo");
+        let px = prep.fit_transform(x)?;
+        model.fit(&px, y)?;
+
+        Ok(SearchOutcome {
+            best: FittedPipeline {
+                preprocessor_name: winner.preprocessor.clone(),
+                model_name: winner.model.clone(),
+                preprocessor: prep,
+                model,
+            },
+            accuracy: winner.accuracy,
+            leaderboard,
+            early_stopped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoos_match_the_paper_tables() {
+        assert_eq!(model_zoo().len(), 21, "Table IV lists 21 models");
+        assert_eq!(
+            preprocessor_zoo().len(),
+            9,
+            "Table III lists 8 algorithms + identity baseline"
+        );
+        for m in model_zoo() {
+            assert!(create_model(m).is_some(), "{m} must construct");
+        }
+        for p in preprocessor_zoo() {
+            assert!(create_preprocessor(p).is_some(), "{p} must construct");
+        }
+        assert!(create_model("gpt").is_none());
+        assert!(create_preprocessor("umap").is_none());
+    }
+
+    #[test]
+    fn search_finds_accurate_pipeline_on_linear_data() {
+        let (x, y) = crate::models::testutil::synthetic(120, 0.02, 77);
+        let search = ModelSearch::quick();
+        let out = search.run(&x, &y).unwrap();
+        assert!(
+            out.accuracy > 0.9,
+            "search accuracy {} on an easy task",
+            out.accuracy
+        );
+        assert!(!out.leaderboard.is_empty());
+        // Leaderboard is sorted.
+        for w in out.leaderboard.windows(2) {
+            assert!(w[0].accuracy >= w[1].accuracy);
+        }
+        // Refit winner predicts well on the training data.
+        let pred = out.best.predict(&x);
+        assert!(crate::metrics::r2(&y, &pred) > 0.9);
+    }
+
+    #[test]
+    fn threshold_stops_early() {
+        let (x, y) = crate::models::testutil::synthetic(120, 0.0, 78);
+        let mut search = ModelSearch::quick();
+        search.accuracy_threshold = 0.5; // trivially reached
+        let out = search.run(&x, &y).unwrap();
+        assert!(out.early_stopped);
+        assert_eq!(out.leaderboard.len(), 1, "stopped after the first combo");
+    }
+
+    #[test]
+    fn search_errors_on_tiny_dataset() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let y = [1.0, 2.0];
+        assert!(ModelSearch::quick().run(&x, &y).is_err());
+    }
+}

@@ -1,0 +1,567 @@
+//! Redundancy elimination: `early-cse`, `early-cse-memssa` and `gvn`.
+//!
+//! All three share a dominator-tree-scoped hash of pure expressions; they
+//! differ — as in LLVM — in how much memory reasoning they do:
+//!
+//! * `early-cse` reuses loads only within a basic block;
+//! * `early-cse-memssa` adds cross-block load reuse, justified by an
+//!   explicit path-based clobber analysis (our stand-in for MemorySSA);
+//! * `gvn` additionally canonicalizes commutative operands, catching
+//!   `a+b` vs `b+a` pairs the CSE passes miss.
+
+use crate::util::{all_insts, may_alias, mem_root, trivial_dce, MemRoot};
+use mlcomp_ir::analysis::{Cfg, DomTree};
+use mlcomp_ir::{
+    BinOp, BlockId, Callee, CastOp, CmpPred, Function, InstId, InstKind, Module, Type, UnOp, Value,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A hash key identifying a pure expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ExprKey {
+    Bin(BinOp, Value, Value, u8),
+    Un(UnOp, Value),
+    Cmp(CmpPred, Value, Value),
+    Select(Value, Value, Value),
+    Cast(CastOp, Value, Type),
+    Gep(Value, Value),
+}
+
+fn expr_key(kind: &InstKind, ty: Type, canonicalize: bool) -> Option<ExprKey> {
+    if !kind.is_pure() {
+        return None;
+    }
+    Some(match kind {
+        InstKind::Bin { op, lhs, rhs, width } => {
+            let (mut l, mut r) = (*lhs, *rhs);
+            if canonicalize && op.is_commutative() && value_rank(l) > value_rank(r) {
+                std::mem::swap(&mut l, &mut r);
+            }
+            ExprKey::Bin(*op, l, r, *width)
+        }
+        InstKind::Un { op, val } => ExprKey::Un(*op, *val),
+        InstKind::Cmp { pred, lhs, rhs } => {
+            let (mut p, mut l, mut r) = (*pred, *lhs, *rhs);
+            if canonicalize && value_rank(l) > value_rank(r) {
+                p = p.swapped();
+                std::mem::swap(&mut l, &mut r);
+            }
+            ExprKey::Cmp(p, l, r)
+        }
+        InstKind::Select {
+            cond,
+            then_val,
+            else_val,
+        } => ExprKey::Select(*cond, *then_val, *else_val),
+        InstKind::Cast { op, val } => ExprKey::Cast(*op, *val, ty),
+        InstKind::Gep { base, offset } => ExprKey::Gep(*base, *offset),
+        _ => return None,
+    })
+}
+
+fn value_rank(v: Value) -> (u8, u64, u64) {
+    match v {
+        Value::Inst(id) => (0, id.0 as u64, 0),
+        Value::Param(i) => (1, i as u64, 0),
+        Value::ConstInt(c, t) => (2, c as u64, t as u64),
+        Value::ConstFloat(b, t) => (3, b, t as u64),
+        Value::Global(g) => (4, g.0 as u64, 0),
+        Value::FuncAddr(f) => (5, f.0 as u64, 0),
+        Value::Undef(t) => (6, t as u64, 0),
+    }
+}
+
+/// Dominator-scoped CSE of pure expressions, plus block-local load reuse
+/// and store-to-load forwarding.
+pub fn early_cse(m: &Module, f: &mut Function) -> bool {
+    run_cse(m, f, false, false)
+}
+
+/// [`early_cse`] plus cross-block load reuse backed by the path-based
+/// clobber analysis (the MemorySSA-powered variant in LLVM).
+pub fn early_cse_memssa(m: &Module, f: &mut Function) -> bool {
+    run_cse(m, f, false, true)
+}
+
+/// Global value numbering: commutative-canonicalized scoped CSE plus
+/// cross-block load elimination.
+pub fn gvn(m: &Module, f: &mut Function) -> bool {
+    run_cse(m, f, true, true)
+}
+
+fn run_cse(m: &Module, f: &mut Function, canonicalize: bool, cross_block_loads: bool) -> bool {
+    crate::util::remove_unreachable_blocks(f);
+    let cfg = Cfg::new(f);
+    let dt = DomTree::new(&cfg);
+    let children = dt.children();
+    let mut changed = false;
+
+    // Scoped hash: stack of (key → value) scopes along the dom-tree DFS.
+    let mut scopes: Vec<HashMap<ExprKey, Value>> = vec![HashMap::new()];
+    let mut replacements: Vec<(BlockId, InstId, Value)> = Vec::new();
+
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Enter(BlockId),
+        Exit,
+    }
+    let mut dfs = vec![Ev::Enter(BlockId::ENTRY)];
+    while let Some(ev) = dfs.pop() {
+        match ev {
+            Ev::Enter(b) => {
+                scopes.push(HashMap::new());
+                // Block-local memory state: ptr value → available value.
+                let mut avail_loads: HashMap<Value, Value> = HashMap::new();
+                let ids = f.block(b).insts.clone();
+                for id in ids {
+                    let inst = f.inst(id).clone();
+                    match &inst.kind {
+                        InstKind::Load { ptr, .. } => {
+                            if let Some(&v) = avail_loads.get(ptr) {
+                                if f.value_type(v) == inst.ty {
+                                    replacements.push((b, id, v));
+                                    continue;
+                                }
+                            }
+                            avail_loads.insert(*ptr, Value::Inst(id));
+                        }
+                        InstKind::Store { ptr, value, .. } => {
+                            let root = mem_root(f, *ptr);
+                            avail_loads.retain(|p, _| !may_alias(mem_root(f, *p), root));
+                            avail_loads.insert(*ptr, *value);
+                        }
+                        InstKind::Memset { .. } | InstKind::Memcpy { .. } => {
+                            avail_loads.clear();
+                        }
+                        InstKind::Call { callee, .. } => {
+                            if !callee_is_readnone(m, callee) {
+                                avail_loads.clear();
+                            }
+                        }
+                        _ => {
+                            if let Some(key) = expr_key(&inst.kind, inst.ty, canonicalize) {
+                                if let Some(v) = lookup(&scopes, key) {
+                                    replacements.push((b, id, v));
+                                    continue;
+                                }
+                                scopes.last_mut().unwrap().insert(key, Value::Inst(id));
+                            }
+                        }
+                    }
+                }
+                dfs.push(Ev::Exit);
+                for &c in &children[b.index()] {
+                    dfs.push(Ev::Enter(c));
+                }
+            }
+            Ev::Exit => {
+                scopes.pop();
+            }
+        }
+    }
+
+    for (b, id, v) in replacements {
+        f.replace_all_uses(id, v);
+        f.remove_from_block(b, id);
+        changed = true;
+    }
+
+    if cross_block_loads {
+        changed |= eliminate_cross_block_loads(m, f);
+    }
+    changed | trivial_dce(m, f, false)
+}
+
+fn lookup(scopes: &[HashMap<ExprKey, Value>], key: ExprKey) -> Option<Value> {
+    scopes.iter().rev().find_map(|s| s.get(&key).copied())
+}
+
+fn callee_is_readnone(m: &Module, callee: &Callee) -> bool {
+    match callee {
+        Callee::Direct(c) => m
+            .functions
+            .get(c.index())
+            .map(|f| f.attrs.readnone)
+            .unwrap_or(false),
+        Callee::Indirect(_) => false,
+    }
+}
+
+/// Location of an instruction: block + position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Loc {
+    /// Containing block.
+    pub block: BlockId,
+    /// Index within the block's instruction list.
+    pub pos: usize,
+}
+
+/// Returns `true` when no instruction that may write `root`'s memory (or
+/// any call that might) can execute on any path from just after `from` to
+/// just before `to`. This is the soundness core of cross-block load
+/// elimination: the candidate blocks are the intersection of
+/// "reachable from `from.block`" and "reaches `to.block`", with cycle-aware
+/// handling of the endpoints.
+pub fn no_clobbers_between(
+    m: &Module,
+    f: &Function,
+    cfg: &Cfg,
+    from: Loc,
+    to: Loc,
+    root: MemRoot,
+) -> bool {
+    // Forward reachability from `from.block` (through successors).
+    let mut fwd: HashSet<BlockId> = HashSet::new();
+    let mut q: VecDeque<BlockId> = cfg.succs[from.block.index()].iter().copied().collect();
+    while let Some(b) = q.pop_front() {
+        if fwd.insert(b) {
+            q.extend(cfg.succs[b.index()].iter().copied());
+        }
+    }
+    // Backward reachability to `to.block` (through predecessors).
+    let mut bwd: HashSet<BlockId> = HashSet::new();
+    let mut q: VecDeque<BlockId> = cfg.preds[to.block.index()].iter().copied().collect();
+    while let Some(b) = q.pop_front() {
+        if bwd.insert(b) {
+            q.extend(cfg.preds[b.index()].iter().copied());
+        }
+    }
+
+    let from_in_cycle = fwd.contains(&from.block);
+    let to_in_cycle = bwd.contains(&to.block);
+
+    let mut candidates: Vec<(BlockId, usize, usize)> = Vec::new(); // (block, lo, hi)
+    let full = |b: BlockId| f.block(b).insts.len();
+
+    if from.block == to.block && !from_in_cycle {
+        // Straight-line within one block.
+        candidates.push((from.block, from.pos + 1, to.pos));
+    } else {
+        // Middle blocks: fully scanned.
+        for &b in fwd.intersection(&bwd) {
+            if b != from.block && b != to.block {
+                candidates.push((b, 0, full(b)));
+            }
+        }
+        // Endpoint: tail of `from.block` (whole block if re-enterable).
+        if fwd.contains(&from.block) && bwd.contains(&from.block) && from_in_cycle {
+            candidates.push((from.block, 0, full(from.block)));
+        } else {
+            candidates.push((from.block, from.pos + 1, full(from.block)));
+        }
+        // Endpoint: head of `to.block`.
+        if to.block != from.block {
+            if fwd.contains(&to.block) && bwd.contains(&to.block) && to_in_cycle {
+                candidates.push((to.block, 0, full(to.block)));
+            } else {
+                candidates.push((to.block, 0, to.pos));
+            }
+        }
+    }
+
+    for (b, lo, hi) in candidates {
+        let insts = &f.block(b).insts;
+        for &id in insts.iter().take(hi).skip(lo) {
+            match &f.inst(id).kind {
+                InstKind::Store { ptr, .. } | InstKind::Memset { ptr, .. } => {
+                    if may_alias(mem_root(f, *ptr), root) {
+                        return false;
+                    }
+                }
+                InstKind::Memcpy { dst, .. } => {
+                    if may_alias(mem_root(f, *dst), root) {
+                        return false;
+                    }
+                }
+                InstKind::Call { callee, .. } => {
+                    if !callee_is_readnone(m, callee) {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+fn eliminate_cross_block_loads(m: &Module, f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let cfg = Cfg::new(f);
+        let dt = DomTree::new(&cfg);
+        let insts = all_insts(f);
+        // Positions for Loc construction.
+        let pos_of = |b: BlockId, id: InstId, f: &Function| -> usize {
+            f.block(b).insts.iter().position(|&i| i == id).unwrap()
+        };
+        let mut done_one = false;
+        'outer: for (lb, load_id) in &insts {
+            let load = f.inst(*load_id).clone();
+            let InstKind::Load { ptr, .. } = load.kind else {
+                continue;
+            };
+            let root = mem_root(f, ptr);
+            // Find a dominating load or store with the same pointer value.
+            for (ob, oid) in &insts {
+                if oid == load_id {
+                    continue;
+                }
+                let (o_ptr, avail): (Value, Value) = match &f.inst(*oid).kind {
+                    InstKind::Load { ptr: p, .. } => (*p, Value::Inst(*oid)),
+                    InstKind::Store { ptr: p, value, .. } => (*p, *value),
+                    _ => continue,
+                };
+                if o_ptr != ptr || f.value_type(avail) != load.ty {
+                    continue;
+                }
+                let from = Loc {
+                    block: *ob,
+                    pos: pos_of(*ob, *oid, f),
+                };
+                let to = Loc {
+                    block: *lb,
+                    pos: pos_of(*lb, *load_id, f),
+                };
+                let dominates = if ob == lb {
+                    from.pos < to.pos
+                } else {
+                    dt.dominates(*ob, *lb)
+                };
+                if !dominates {
+                    continue;
+                }
+                if no_clobbers_between(m, f, &cfg, from, to, root) {
+                    f.replace_all_uses(*load_id, avail);
+                    f.remove_from_block(*lb, *load_id);
+                    changed = true;
+                    done_one = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !done_one {
+            break;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcomp_ir::{verify, Interpreter, ModuleBuilder, RtVal};
+
+    fn exec(m: &Module, name: &str, args: &[RtVal]) -> Option<RtVal> {
+        let fid = m.find_function(name).unwrap();
+        Interpreter::new(m).run(fid, args).unwrap().ret
+    }
+
+    #[test]
+    fn cse_removes_duplicate_exprs() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64, Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let a1 = b.add(b.param(0), b.param(1));
+            let a2 = b.add(b.param(0), b.param(1));
+            let s = b.mul(a1, a2);
+            b.ret(Some(s));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(early_cse(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(m.functions[0].live_inst_count(), 2);
+        assert_eq!(
+            exec(&m, "f", &[RtVal::I(3), RtVal::I(4)]),
+            Some(RtVal::I(49))
+        );
+    }
+
+    #[test]
+    fn cse_is_dominator_scoped() {
+        // The same expression in two sibling branches must NOT be merged.
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let c = b.cmp(CmpPred::Gt, b.param(0), b.const_i64(0));
+            let v = b.if_else(
+                c,
+                Type::I64,
+                |b| b.add(b.param(0), b.const_i64(5)),
+                |b| b.add(b.param(0), b.const_i64(5)),
+            );
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        early_cse(&mc, &mut m.functions[0]);
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[RtVal::I(1)]), Some(RtVal::I(6)));
+        assert_eq!(exec(&m, "f", &[RtVal::I(-1)]), Some(RtVal::I(4)));
+    }
+
+    #[test]
+    fn block_local_store_to_load_forwarding() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let p = b.alloca(1);
+            b.store(p, b.param(0));
+            let v = b.load(p, Type::I64);
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(early_cse(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        let f = &m.functions[0];
+        assert!(!all_insts(f)
+            .iter()
+            .any(|(_, id)| matches!(f.inst(*id).kind, InstKind::Load { .. })));
+        assert_eq!(exec(&m, "f", &[RtVal::I(11)]), Some(RtVal::I(11)));
+    }
+
+    #[test]
+    fn store_invalidates_aliasing_loads() {
+        // load p; store q (may-alias); load p — must re-load.
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::Ptr, Type::Ptr], Type::I64);
+        {
+            let mut b = mb.body();
+            let v1 = b.load(b.param(0), Type::I64);
+            b.store(b.param(1), b.const_i64(99));
+            let v2 = b.load(b.param(0), Type::I64);
+            let s = b.add(v1, v2);
+            b.ret(Some(s));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        early_cse(&mc, &mut m.functions[0]);
+        verify(&m).unwrap();
+        let f = &m.functions[0];
+        let loads = all_insts(f)
+            .iter()
+            .filter(|(_, id)| matches!(f.inst(*id).kind, InstKind::Load { .. }))
+            .count();
+        assert_eq!(loads, 2, "aliasing store must kill the available load");
+    }
+
+    #[test]
+    fn memssa_forwards_across_blocks() {
+        // store g, then in a later block load g with no clobber between.
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_global("g", 1);
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            b.store(b.global_addr(g), b.param(0));
+            let c = b.cmp(CmpPred::Gt, b.param(0), b.const_i64(0));
+            let v = b.if_else(
+                c,
+                Type::I64,
+                |b| b.load(b.global_addr(g), Type::I64),
+                |b| b.const_i64(0),
+            );
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(early_cse_memssa(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        let f = &m.functions[0];
+        assert!(!all_insts(f)
+            .iter()
+            .any(|(_, id)| matches!(f.inst(*id).kind, InstKind::Load { .. })));
+        assert_eq!(exec(&m, "f", &[RtVal::I(3)]), Some(RtVal::I(3)));
+    }
+
+    #[test]
+    fn memssa_respects_clobbering_arm() {
+        // Diamond where one arm stores to the pointer: the join load stays.
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_global("g", 1);
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            b.store(b.global_addr(g), b.const_i64(1));
+            let c = b.cmp(CmpPred::Gt, b.param(0), b.const_i64(0));
+            b.if_then(c, |b| {
+                b.store(b.global_addr(g), b.const_i64(2));
+            });
+            let v = b.load(b.global_addr(g), Type::I64);
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        early_cse_memssa(&mc, &mut m.functions[0]);
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[RtVal::I(1)]), Some(RtVal::I(2)));
+        assert_eq!(exec(&m, "f", &[RtVal::I(-1)]), Some(RtVal::I(1)));
+    }
+
+    #[test]
+    fn gvn_catches_commuted_expressions() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64, Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let a1 = b.add(b.param(0), b.param(1));
+            let a2 = b.add(b.param(1), b.param(0)); // commuted duplicate
+            let s = b.mul(a1, a2);
+            b.ret(Some(s));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+
+        // early-cse misses it…
+        let mut m2 = m.clone();
+        early_cse(&mc, &mut m2.functions[0]);
+        assert_eq!(m2.functions[0].live_inst_count(), 3);
+
+        // …gvn gets it.
+        assert!(gvn(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(m.functions[0].live_inst_count(), 2);
+        assert_eq!(
+            exec(&m, "f", &[RtVal::I(2), RtVal::I(5)]),
+            Some(RtVal::I(49))
+        );
+    }
+
+    #[test]
+    fn loop_load_not_forwarded_across_latch_store() {
+        // A store inside the loop body must block hoist-like forwarding of
+        // a header load from the preheader store.
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_global("g", 1);
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            b.store(b.global_addr(g), b.const_i64(0));
+            b.for_loop(b.const_i64(0), b.param(0), 1, |b, _i| {
+                let cur = b.load(b.global_addr(g), Type::I64);
+                let n = b.add(cur, b.const_i64(2));
+                b.store(b.global_addr(g), n);
+            });
+            let r = b.load(b.global_addr(g), Type::I64);
+            b.ret(Some(r));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        gvn(&mc, &mut m.functions[0]);
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[RtVal::I(5)]), Some(RtVal::I(10)));
+    }
+}

@@ -1,0 +1,386 @@
+//! Dead-code phases: `adce` (aggressive DCE) and `dse` (dead store
+//! elimination).
+
+use crate::util::{all_insts, alloca_escapes, may_alias, mem_root, remove_unreachable_blocks};
+use mlcomp_ir::{Callee, Function, InstId, InstKind, Module, Value};
+use std::collections::{HashSet, VecDeque};
+
+/// `adce`: liveness-propagating dead code elimination. Unlike the trivial
+/// DCE that most phases run, this also removes unused *loads* and unused
+/// calls to `readnone` functions, and it seeds liveness only from
+/// observable effects: stores, effectful calls, memory intrinsics and
+/// terminator operands.
+pub fn adce(m: &Module, f: &mut Function) -> bool {
+    remove_unreachable_blocks(f);
+    let insts = all_insts(f);
+    let mut live: HashSet<InstId> = HashSet::new();
+    let mut work: VecDeque<InstId> = VecDeque::new();
+
+    let mark = |v: Value, live: &mut HashSet<InstId>, work: &mut VecDeque<InstId>| {
+        if let Value::Inst(id) = v {
+            if live.insert(id) {
+                work.push_back(id);
+            }
+        }
+    };
+
+    // Roots: side effects + terminators.
+    for (b, id) in &insts {
+        let kind = &f.inst(*id).kind;
+        let effectful = match kind {
+            InstKind::Store { .. } | InstKind::Memset { .. } | InstKind::Memcpy { .. } => true,
+            InstKind::Call { callee, .. } => match callee {
+                Callee::Direct(c) => !m
+                    .functions
+                    .get(c.index())
+                    .map(|cf| cf.attrs.readnone)
+                    .unwrap_or(false),
+                Callee::Indirect(_) => true,
+            },
+            _ => false,
+        };
+        if effectful && live.insert(*id) {
+            work.push_back(*id);
+        }
+        let _ = b;
+    }
+    for b in f.block_ids() {
+        f.block(b)
+            .term
+            .for_each_operand(|v| mark(v, &mut live, &mut work));
+    }
+
+    // Propagate liveness through operands.
+    while let Some(id) = work.pop_front() {
+        let mut ops = Vec::new();
+        f.inst(id).kind.for_each_operand(|v| ops.push(v));
+        for v in ops {
+            mark(v, &mut live, &mut work);
+        }
+    }
+
+    let mut changed = false;
+    for (b, id) in insts {
+        if !live.contains(&id) {
+            f.remove_from_block(b, id);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// `dse`: removes stores that are provably dead — overwritten before any
+/// potential read within the same block, or targeting a non-escaping
+/// alloca that is never loaded at all.
+pub fn dse(m: &Module, f: &mut Function) -> bool {
+    let mut changed = false;
+
+    // Whole-function: stores into never-read, non-escaping allocas.
+    let mut write_only_allocas: HashSet<InstId> = HashSet::new();
+    for (_b, id) in all_insts(f) {
+        if matches!(f.inst(id).kind, InstKind::Alloca { .. }) && !alloca_escapes(f, id) {
+            let root = crate::util::MemRoot::Alloca(id);
+            let mut read = false;
+            for (_b2, id2) in all_insts(f) {
+                match &f.inst(id2).kind {
+                    InstKind::Load { ptr, .. } => {
+                        if may_alias(mem_root(f, *ptr), root) {
+                            read = true;
+                        }
+                    }
+                    InstKind::Memcpy { src, .. } => {
+                        if may_alias(mem_root(f, *src), root) {
+                            read = true;
+                        }
+                    }
+                    _ => {}
+                }
+                if read {
+                    break;
+                }
+            }
+            if !read {
+                write_only_allocas.insert(id);
+            }
+        }
+    }
+    if !write_only_allocas.is_empty() {
+        for (b, id) in all_insts(f) {
+            let kind = f.inst(id).kind.clone();
+            let target = match &kind {
+                InstKind::Store { ptr, .. } | InstKind::Memset { ptr, .. } => Some(*ptr),
+                InstKind::Memcpy { dst, .. } => Some(*dst),
+                _ => None,
+            };
+            if let Some(p) = target {
+                if let crate::util::MemRoot::Alloca(a) = mem_root(f, p) {
+                    if write_only_allocas.contains(&a) {
+                        f.remove_from_block(b, id);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Block-local: store overwritten by a later store to the same pointer
+    // with no intervening reader or effectful call.
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let ids = f.block(b).insts.clone();
+        let mut dead: Vec<InstId> = Vec::new();
+        for (i, &sid) in ids.iter().enumerate() {
+            let InstKind::Store { ptr, .. } = f.inst(sid).kind else {
+                continue;
+            };
+            let root = mem_root(f, ptr);
+            'scan: for &nid in ids.iter().skip(i + 1) {
+                match &f.inst(nid).kind {
+                    InstKind::Store { ptr: p2, .. } => {
+                        if *p2 == ptr {
+                            dead.push(sid);
+                            break 'scan;
+                        }
+                        if may_alias(mem_root(f, *p2), root) {
+                            // A different may-alias store does not read,
+                            // keep scanning.
+                        }
+                    }
+                    InstKind::Load { ptr: p2, .. } => {
+                        if may_alias(mem_root(f, *p2), root) {
+                            break 'scan;
+                        }
+                    }
+                    InstKind::Memcpy { src, .. } => {
+                        if may_alias(mem_root(f, *src), root) {
+                            break 'scan;
+                        }
+                    }
+                    InstKind::Memset { .. } => {}
+                    InstKind::Call { callee, .. } => {
+                        let readnone = match callee {
+                            Callee::Direct(c) => m
+                                .functions
+                                .get(c.index())
+                                .map(|cf| cf.attrs.readnone)
+                                .unwrap_or(false),
+                            Callee::Indirect(_) => false,
+                        };
+                        if !readnone {
+                            break 'scan;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for d in dead {
+            f.remove_from_block(b, d);
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcomp_ir::{verify, CmpPred, Interpreter, ModuleBuilder, RtVal, Type};
+
+    fn exec(m: &Module, name: &str, args: &[RtVal]) -> Option<RtVal> {
+        let fid = m.find_function(name).unwrap();
+        Interpreter::new(m).run(fid, args).unwrap().ret
+    }
+
+    #[test]
+    fn adce_removes_dead_load() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_global("g", 1);
+        mb.begin_function("f", vec![], Type::I64);
+        {
+            let mut b = mb.body();
+            let _dead = b.load(b.global_addr(g), Type::I64);
+            b.ret(Some(b.const_i64(1)));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(adce(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(m.functions[0].live_inst_count(), 0);
+    }
+
+    #[test]
+    fn adce_removes_dead_readnone_call() {
+        let mut mb = ModuleBuilder::new("t");
+        let pure_fn = mb.declare("pure", vec![Type::I64], Type::I64);
+        mb.begin_existing(pure_fn);
+        {
+            let mut b = mb.body();
+            let v = b.add(b.param(0), b.const_i64(1));
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        mb.set_attrs(pure_fn, |a| a.readnone = true);
+        mb.begin_function("f", vec![], Type::I64);
+        {
+            let mut b = mb.body();
+            let _unused = b.call(pure_fn, vec![b.const_i64(1)], Type::I64);
+            b.ret(Some(b.const_i64(5)));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(adce(&mc, &mut m.functions[1]));
+        verify(&m).unwrap();
+        assert_eq!(m.functions[1].live_inst_count(), 0);
+    }
+
+    #[test]
+    fn adce_keeps_effectful_call() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_global("g", 1);
+        let eff = mb.declare("eff", vec![], Type::I64);
+        mb.begin_existing(eff);
+        {
+            let mut b = mb.body();
+            b.store(b.global_addr(g), b.const_i64(1));
+            b.ret(Some(b.const_i64(0)));
+        }
+        mb.finish_function();
+        mb.begin_function("f", vec![], Type::I64);
+        {
+            let mut b = mb.body();
+            let _unused = b.call(eff, vec![], Type::I64);
+            let v = b.load(b.global_addr(g), Type::I64);
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        adce(&mc, &mut m.functions[1]);
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[]), Some(RtVal::I(1)), "call kept");
+    }
+
+    #[test]
+    fn dse_removes_overwritten_store() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_global("g", 1);
+        mb.begin_function("f", vec![], Type::I64);
+        {
+            let mut b = mb.body();
+            b.store(b.global_addr(g), b.const_i64(1));
+            b.store(b.global_addr(g), b.const_i64(2));
+            let v = b.load(b.global_addr(g), Type::I64);
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(dse(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        let f = &m.functions[0];
+        let stores = all_insts(f)
+            .iter()
+            .filter(|(_, id)| matches!(f.inst(*id).kind, InstKind::Store { .. }))
+            .count();
+        assert_eq!(stores, 1);
+        assert_eq!(exec(&m, "f", &[]), Some(RtVal::I(2)));
+    }
+
+    #[test]
+    fn dse_keeps_store_read_in_between() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_global("g", 1);
+        mb.begin_function("f", vec![], Type::I64);
+        {
+            let mut b = mb.body();
+            b.store(b.global_addr(g), b.const_i64(1));
+            let v1 = b.load(b.global_addr(g), Type::I64);
+            b.store(b.global_addr(g), b.const_i64(2));
+            let v2 = b.load(b.global_addr(g), Type::I64);
+            let s = b.add(v1, v2);
+            b.ret(Some(s));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        dse(&mc, &mut m.functions[0]);
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[]), Some(RtVal::I(3)));
+    }
+
+    #[test]
+    fn dse_removes_write_only_alloca_stores() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let scratch = b.alloca(4);
+            b.for_loop(b.const_i64(0), b.param(0), 1, |b, i| {
+                let idx = b.srem(i, b.const_i64(4));
+                let p = b.gep(scratch, idx);
+                b.store(p, i);
+            });
+            b.ret(Some(b.param(0)));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(dse(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        let f = &m.functions[0];
+        assert!(!all_insts(f)
+            .iter()
+            .any(|(_, id)| matches!(f.inst(*id).kind, InstKind::Store { .. })));
+        assert_eq!(exec(&m, "f", &[RtVal::I(9)]), Some(RtVal::I(9)));
+    }
+
+    #[test]
+    fn dse_respects_escaping_alloca() {
+        let mut mb = ModuleBuilder::new("t");
+        let reader = mb.declare("reader", vec![Type::Ptr], Type::I64);
+        mb.begin_existing(reader);
+        {
+            let mut b = mb.body();
+            let v = b.load(b.param(0), Type::I64);
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        mb.begin_function("f", vec![], Type::I64);
+        {
+            let mut b = mb.body();
+            let p = b.alloca(1);
+            b.store(p, b.const_i64(42));
+            let v = b.call(reader, vec![p], Type::I64);
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        dse(&mc, &mut m.functions[1]);
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[]), Some(RtVal::I(42)));
+    }
+
+    #[test]
+    fn adce_interacts_with_branches() {
+        // Dead computation chains across a diamond go away; live ones stay.
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let c = b.cmp(CmpPred::Gt, b.param(0), b.const_i64(0));
+            let live = b.if_else(c, Type::I64, |b| b.const_i64(1), |b| b.const_i64(2));
+            let d1 = b.mul(live, b.const_i64(10));
+            let _d2 = b.add(d1, b.const_i64(5)); // dead chain
+            b.ret(Some(live));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(adce(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[RtVal::I(3)]), Some(RtVal::I(1)));
+    }
+}

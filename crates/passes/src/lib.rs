@@ -1,0 +1,50 @@
+//! The optimization-phase library: all 48 LLVM phases of the MLComp paper's
+//! Table VI, implemented as real transforms over [`mlcomp_ir`], plus a pass
+//! manager and the standard `-O1`/`-O2`/`-O3`/`-Oz` pipelines they are
+//! compared against.
+//!
+//! Phases interact the way they do in LLVM — `mem2reg` gates `licm`/`gvn`,
+//! `loop-rotate` gates `licm`, `indvars` gates `loop-unroll` and
+//! `loop-vectorize`, `inline` feeds everything — which is exactly the
+//! phase-ordering sensitivity the MLComp Phase Selection Policy learns to
+//! exploit.
+//!
+//! # Example
+//!
+//! ```
+//! use mlcomp_passes::PassManager;
+//! use mlcomp_ir::{ModuleBuilder, Type};
+//!
+//! let mut mb = ModuleBuilder::new("m");
+//! mb.begin_function("f", vec![Type::I64], Type::I64);
+//! {
+//!     let mut b = mb.body();
+//!     let acc = b.local(b.param(0));
+//!     let v = b.load(acc, Type::I64);
+//!     b.ret(Some(v));
+//! }
+//! mb.finish_function();
+//! let mut m = mb.build();
+//!
+//! let pm = PassManager::new();
+//! let changed = pm.run_phase(&mut m, "mem2reg").unwrap();
+//! assert!(changed);
+//! assert_eq!(m.functions[0].live_inst_count(), 0); // promoted away
+//! ```
+
+pub mod cfgopt;
+pub mod cse;
+pub mod dce;
+pub mod ipo;
+pub mod loops;
+pub mod manager;
+pub mod memory;
+pub mod motion;
+pub mod registry;
+pub mod scalar;
+pub mod sccp;
+pub mod util;
+pub mod vector;
+
+pub use manager::{PassManager, PipelineLevel, UnknownPhaseError};
+pub use registry::{all_phase_names, run_phase_on, PHASE_COUNT};

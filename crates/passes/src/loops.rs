@@ -1,0 +1,1752 @@
+//! Loop phases: `licm`, `loop-rotate`, `indvars`, `loop-unroll`,
+//! `loop-deletion`, `loop-idiom`, `loop-unswitch`, `loop-sink`,
+//! `loop-load-elim` and `loop-distribute`.
+//!
+//! The interactions here mirror LLVM's: `loop-rotate` turns while-loops
+//! into do-while form so that body blocks dominate the exiting latch,
+//! which is what lets `licm` hoist loads; `indvars` canonicalizes exit
+//! conditions so `loop-unroll`/`loop-vectorize` can compute trip counts;
+//! `loop-idiom` needs `instcombine`-canonicalized address arithmetic.
+
+use crate::util::{
+    clone_region, ensure_preheader, may_alias, mem_root, remove_unreachable_blocks,
+    trivial_dce, MemRoot,
+};
+use mlcomp_ir::analysis::{Cfg, DefUse, DomTree, Loop, LoopForest};
+use mlcomp_ir::{
+    BinOp, BlockId, Callee, CmpPred, Function, Inst, InstId, InstKind, Module, Terminator, Type,
+    Value,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Upper bound on `trip count × body size` for full unrolling (matches the
+/// spirit of LLVM's unroll threshold).
+const UNROLL_BUDGET: usize = 256;
+/// Maximum trip count considered for full unrolling.
+const UNROLL_MAX_TRIPS: u64 = 32;
+/// Maximum loop size cloned by `loop-unswitch`.
+const UNSWITCH_BUDGET: usize = 96;
+
+fn forest(f: &Function) -> (Cfg, DomTree, LoopForest) {
+    let cfg = Cfg::new(f);
+    let dt = DomTree::new(&cfg);
+    let lf = LoopForest::new(f, &cfg, &dt);
+    (cfg, dt, lf)
+}
+
+/// Blocks of `f` that contain any instruction with side effects on memory
+/// visible outside the loop, or calls.
+fn loop_has_calls(f: &Function, l: &Loop) -> bool {
+    l.blocks.iter().any(|&b| {
+        f.block(b)
+            .insts
+            .iter()
+            .any(|&id| matches!(f.inst(id).kind, InstKind::Call { .. }))
+    })
+}
+
+fn loop_effectful_roots(f: &Function, l: &Loop) -> Option<HashSet<MemRoot>> {
+    let mut roots = HashSet::new();
+    for &b in &l.blocks {
+        for &id in &f.block(b).insts {
+            match &f.inst(id).kind {
+                InstKind::Store { ptr, .. } | InstKind::Memset { ptr, .. } => {
+                    roots.insert(mem_root(f, *ptr));
+                }
+                InstKind::Memcpy { dst, .. } => {
+                    roots.insert(mem_root(f, *dst));
+                }
+                InstKind::Call { .. } => return None, // unknown writes
+                _ => {}
+            }
+        }
+    }
+    Some(roots)
+}
+
+/// Whether `v` is invariant in loop `l` (defined outside it).
+fn is_invariant(f: &Function, l: &Loop, v: Value) -> bool {
+    match v {
+        Value::Inst(id) => !l.blocks.iter().any(|&b| f.block(b).insts.contains(&id)),
+        _ => true,
+    }
+}
+
+/// `licm`: hoists loop-invariant pure computations to the preheader, and
+/// invariant loads when nothing in the loop can write the location and the
+/// load's block dominates every exiting block (so it is guaranteed to
+/// execute — the property `loop-rotate` establishes for body blocks).
+pub fn licm(m: &Module, f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let (_cfg, dt, lf) = forest(f);
+        let mut hoisted = false;
+        for l in &lf.loops {
+            // Materialize a preheader if the loop lacks one.
+            let pre = match l.preheader {
+                Some(p) => p,
+                None => {
+                    ensure_preheader(f, l.header, &l.blocks);
+                    hoisted = true; // CFG changed; restart analysis
+                    break;
+                }
+            };
+            let write_roots = loop_effectful_roots(f, l);
+            let calls = loop_has_calls(f, l);
+            // Sorted iteration keeps hoist order (and thus output IR)
+            // deterministic across runs.
+            let mut loop_blocks: Vec<BlockId> = l.blocks.iter().copied().collect();
+            loop_blocks.sort_unstable();
+            for &b in &loop_blocks {
+                let ids = f.block(b).insts.clone();
+                for id in ids {
+                    let kind = f.inst(id).kind.clone();
+                    let mut invariant = true;
+                    kind.for_each_operand(|v| invariant &= is_invariant(f, l, v));
+                    if !invariant {
+                        continue;
+                    }
+                    let can_hoist = if kind.is_pure() && !kind.is_phi() {
+                        true
+                    } else if let InstKind::Load { ptr, .. } = &kind {
+                        // Safe only when the loop cannot write the root and
+                        // the load executes on every iteration.
+                        let root = mem_root(f, *ptr);
+                        let no_writes = match &write_roots {
+                            Some(roots) => !roots.iter().any(|r| may_alias(*r, root)),
+                            None => false,
+                        };
+                        let guaranteed = l
+                            .exiting
+                            .iter()
+                            .all(|&x| dt.dominates(b, x));
+                        no_writes && !calls && guaranteed
+                    } else {
+                        false
+                    };
+                    if can_hoist {
+                        f.remove_from_block(b, id);
+                        f.block_mut(pre).insts.push(id);
+                        hoisted = true;
+                        changed = true;
+                    }
+                }
+            }
+            if hoisted {
+                break; // re-analyze
+            }
+        }
+        if !hoisted {
+            break;
+        }
+    }
+    changed | trivial_dce(m, f, false)
+}
+
+/// `loop-rotate`: converts while-shaped loops (exit test in the header)
+/// into guarded do-while form (exit test in the latch), creating the
+/// body-dominates-latch property `licm` and `loop-load-elim` need.
+pub fn loop_rotate(m: &Module, f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let (cfg, _dt, lf) = forest(f);
+        let mut rotated = false;
+        for l in &lf.loops {
+            if l.latches.len() != 1 || l.header == l.latches[0] {
+                continue;
+            }
+            let latch = l.latches[0];
+            let Some(pre) = l.preheader else { continue };
+            // Header must end in the loop's only exit test.
+            let Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+                weight,
+            } = f.block(l.header).term.clone()
+            else {
+                continue;
+            };
+            let (body_entry, exit) = if l.blocks.contains(&then_bb) && !l.blocks.contains(&else_bb)
+            {
+                (then_bb, else_bb)
+            } else if l.blocks.contains(&else_bb) && !l.blocks.contains(&then_bb) {
+                (else_bb, then_bb)
+            } else {
+                continue;
+            };
+            if l.exiting.len() != 1 || l.exiting[0] != l.header {
+                continue;
+            }
+            // Exit must be private to this loop exit and free of phis
+            // (rotation changes its predecessor set).
+            if cfg.preds[exit.index()] != vec![l.header] {
+                continue;
+            }
+            if f.block(exit)
+                .insts
+                .iter()
+                .any(|&i| f.inst(i).kind.is_phi())
+            {
+                continue;
+            }
+            // Latch must fall through to the header unconditionally.
+            if !matches!(f.block(latch).term, Terminator::Br(t) if t == l.header) {
+                continue;
+            }
+            // Header non-phi instructions must be pure (they get cloned).
+            let header_insts = f.block(l.header).insts.clone();
+            let phis: Vec<InstId> = header_insts
+                .iter()
+                .copied()
+                .take_while(|&i| f.inst(i).kind.is_phi())
+                .collect();
+            let body_insts: Vec<InstId> = header_insts[phis.len()..].to_vec();
+            if body_insts
+                .iter()
+                .any(|&i| !f.inst(i).kind.is_pure() || f.inst(i).kind.is_phi())
+            {
+                continue;
+            }
+
+            // Build substitution maps for phis: initial (preheader) and
+            // next-iteration (latch) values.
+            let mut init_map: HashMap<InstId, Value> = HashMap::new();
+            let mut next_map: HashMap<InstId, Value> = HashMap::new();
+            let mut ok = true;
+            for &p in &phis {
+                let InstKind::Phi { incomings } = &f.inst(p).kind else {
+                    unreachable!()
+                };
+                let init = incomings.iter().find(|(x, _)| *x == pre).map(|(_, v)| *v);
+                let next = incomings.iter().find(|(x, _)| *x == latch).map(|(_, v)| *v);
+                match (init, next) {
+                    (Some(i), Some(n)) => {
+                        init_map.insert(p, i);
+                        next_map.insert(p, n);
+                    }
+                    _ => ok = false,
+                }
+            }
+            if !ok {
+                continue;
+            }
+
+            // Clone the header computation twice: into the preheader
+            // (guard) and into the latch (next-iteration test).
+            let clone_into = |f: &mut Function,
+                              target: BlockId,
+                              subst: &HashMap<InstId, Value>,
+                              body_insts: &[InstId]|
+             -> HashMap<InstId, Value> {
+                let mut map: HashMap<InstId, Value> = HashMap::new();
+                for &src in body_insts {
+                    let mut kind = f.inst(src).kind.clone();
+                    let ty = f.inst(src).ty;
+                    kind.map_operands(|v| {
+                        if let Value::Inst(i) = v {
+                            if let Some(s) = subst.get(&i) {
+                                return *s;
+                            }
+                            if let Some(s) = map.get(&i) {
+                                return *s;
+                            }
+                        }
+                        v
+                    });
+                    let nid = f.add_inst(Inst::new(kind, ty));
+                    f.block_mut(target).insts.push(nid);
+                    map.insert(src, Value::Inst(nid));
+                }
+                map
+            };
+            let guard_map = clone_into(f, pre, &init_map, &body_insts);
+            let latch_map = clone_into(f, latch, &next_map, &body_insts);
+
+            let subst_val = |v: Value, map: &HashMap<InstId, Value>, phi_map: &HashMap<InstId, Value>| -> Value {
+                match v {
+                    Value::Inst(i) => phi_map
+                        .get(&i)
+                        .copied()
+                        .or_else(|| map.get(&i).copied())
+                        .unwrap_or(v),
+                    _ => v,
+                }
+            };
+            let guard_cond = subst_val(cond, &guard_map, &init_map);
+            let latch_cond = subst_val(cond, &latch_map, &next_map);
+
+            // Live-out fixup: values defined in the header (phis or pure
+            // insts) used outside the loop need merging phis in the exit.
+            let du = DefUse::new(f);
+            let mut liveouts: Vec<(InstId, Value, Value)> = Vec::new(); // (def, pre_version, latch_version)
+            for &p in &phis {
+                let used_outside = du
+                    .uses_of(p)
+                    .iter()
+                    .any(|u| !l.blocks.contains(&u.block()));
+                if used_outside {
+                    liveouts.push((p, init_map[&p], next_map[&p]));
+                }
+            }
+            for &i in &body_insts {
+                let used_outside = du
+                    .uses_of(i)
+                    .iter()
+                    .any(|u| !l.blocks.contains(&u.block()));
+                if used_outside {
+                    liveouts.push((
+                        i,
+                        subst_val(Value::Inst(i), &guard_map, &init_map),
+                        subst_val(Value::Inst(i), &latch_map, &next_map),
+                    ));
+                }
+            }
+            // Rewire terminators.
+            let (g_then, g_else, l_then, l_else) = if then_bb == body_entry {
+                (l.header, exit, l.header, exit)
+            } else {
+                (exit, l.header, exit, l.header)
+            };
+            f.block_mut(pre).term = Terminator::CondBr {
+                cond: guard_cond,
+                then_bb: g_then,
+                else_bb: g_else,
+                weight,
+            };
+            f.block_mut(latch).term = Terminator::CondBr {
+                cond: latch_cond,
+                then_bb: l_then,
+                else_bb: l_else,
+                weight,
+            };
+            f.block_mut(l.header).term = Terminator::Br(body_entry);
+
+            // Exit now has preds {pre, latch}: build the live-out phis.
+            for (def, pre_v, latch_v) in liveouts {
+                let ty = f.inst(def).ty;
+                let phi = f.add_inst(Inst::new(
+                    InstKind::Phi {
+                        incomings: vec![(pre, pre_v), (latch, latch_v)],
+                    },
+                    ty,
+                ));
+                f.block_mut(exit).insts.insert(0, phi);
+                // Replace uses outside the loop (and not the new phi).
+                let outside_blocks: Vec<BlockId> = f
+                    .block_ids()
+                    .filter(|b| !l.blocks.contains(b))
+                    .collect();
+                for ob in outside_blocks {
+                    for &uid in &f.block(ob).insts.clone() {
+                        if uid == phi {
+                            continue;
+                        }
+                        f.inst_mut(uid).kind.map_operands(|v| {
+                            if v == Value::Inst(def) {
+                                Value::Inst(phi)
+                            } else {
+                                v
+                            }
+                        });
+                    }
+                    let mut term = f.block(ob).term.clone();
+                    term.map_operands(|v| {
+                        if v == Value::Inst(def) {
+                            Value::Inst(phi)
+                        } else {
+                            v
+                        }
+                    });
+                    f.block_mut(ob).term = term;
+                }
+            }
+
+            rotated = true;
+            changed = true;
+            break;
+        }
+        if !rotated {
+            break;
+        }
+    }
+    changed | trivial_dce(m, f, false)
+}
+
+/// `indvars`: canonicalizes induction variables — rewrites `i <= C` into
+/// `i < C+1` and `i != C` into `i < C` exit tests (when provably
+/// equivalent), and replaces loop-exit uses of the induction variable with
+/// its computed final value when the trip count is a known constant.
+pub fn indvars(m: &Module, f: &mut Function) -> bool {
+    let mut changed = false;
+    let (_cfg, _dt, lf) = forest(f);
+    for l in &lf.loops {
+        // Canonicalize the header compare.
+        let Terminator::CondBr { cond, .. } = &f.block(l.header).term else {
+            continue;
+        };
+        let Some(cmp_id) = cond.as_inst() else { continue };
+        let InstKind::Cmp { pred, lhs, rhs } = f.inst(cmp_id).kind.clone() else {
+            continue;
+        };
+        if let Some(c) = rhs.as_const_int() {
+            match pred {
+                CmpPred::Le if c < i64::MAX => {
+                    f.inst_mut(cmp_id).kind = InstKind::Cmp {
+                        pred: CmpPred::Lt,
+                        lhs,
+                        rhs: Value::ConstInt(c + 1, f.value_type(rhs)),
+                    };
+                    changed = true;
+                }
+                CmpPred::Ne => {
+                    // Only sound when the IV provably starts at or below
+                    // the bound and steps by +1.
+                    if let Some(phi_id) = lhs.as_inst() {
+                        if let InstKind::Phi { incomings } = &f.inst(phi_id).kind {
+                            let start_const = incomings
+                                .iter()
+                                .filter(|(b2, _)| !l.blocks.contains(b2))
+                                .filter_map(|(_, v)| v.as_const_int())
+                                .next();
+                            let step_one = incomings.iter().any(|(b2, v)| {
+                                l.blocks.contains(b2)
+                                    && v.as_inst()
+                                        .map(|nid| {
+                                            matches!(
+                                                &f.inst(nid).kind,
+                                                InstKind::Bin {
+                                                    op: BinOp::Add,
+                                                    lhs: a,
+                                                    rhs: s,
+                                                    ..
+                                                } if *a == Value::Inst(phi_id)
+                                                    && s.as_const_int() == Some(1)
+                                            )
+                                        })
+                                        .unwrap_or(false)
+                            });
+                            if let Some(s) = start_const {
+                                if step_one && s <= c {
+                                    f.inst_mut(cmp_id).kind = InstKind::Cmp {
+                                        pred: CmpPred::Lt,
+                                        lhs,
+                                        rhs,
+                                    };
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Exit-value rewriting: constant-trip loops expose the IV's final value.
+    let (_cfg, _dt, lf) = forest(f);
+    for l in &lf.loops {
+        let Some(tc) = l.trip_count(f) else { continue };
+        let Some(trips) = tc.const_trips else { continue };
+        let Some(start) = tc.start.as_const_int() else {
+            continue;
+        };
+        let final_val = start + (trips as i64) * tc.step;
+        let du = DefUse::new(f);
+        let outside_uses: Vec<BlockId> = du
+            .uses_of(tc.iv_phi)
+            .iter()
+            .map(|u| u.block())
+            .filter(|b| !l.blocks.contains(b))
+            .collect();
+        if outside_uses.is_empty() {
+            continue;
+        }
+        let ty = f.inst(tc.iv_phi).ty;
+        for ob in f.block_ids().collect::<Vec<_>>() {
+            if l.blocks.contains(&ob) {
+                continue;
+            }
+            for &uid in &f.block(ob).insts.clone() {
+                f.inst_mut(uid).kind.map_operands(|v| {
+                    if v == Value::Inst(tc.iv_phi) {
+                        changed = true;
+                        Value::ConstInt(final_val, ty)
+                    } else {
+                        v
+                    }
+                });
+            }
+            let mut term = f.block(ob).term.clone();
+            term.map_operands(|v| {
+                if v == Value::Inst(tc.iv_phi) {
+                    changed = true;
+                    Value::ConstInt(final_val, ty)
+                } else {
+                    v
+                }
+            });
+            f.block_mut(ob).term = term;
+        }
+    }
+    changed | trivial_dce(m, f, false)
+}
+
+/// `loop-unroll`: fully unrolls canonical counted loops with small constant
+/// trip counts, substituting the induction variable with constants and
+/// threading accumulator phis through the copies.
+pub fn loop_unroll(m: &Module, f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let (cfg, _dt, lf) = forest(f);
+        let mut unrolled = false;
+        for l in &lf.loops {
+            let Some(tc) = l.trip_count(f) else { continue };
+            let Some(trips) = tc.const_trips else { continue };
+            let size: usize = l
+                .blocks
+                .iter()
+                .map(|&b| f.block(b).insts.len())
+                .sum();
+            if trips > UNROLL_MAX_TRIPS || trips as usize * size > UNROLL_BUDGET {
+                continue;
+            }
+            if l.latches.len() != 1 || l.exiting.len() != 1 || l.exiting[0] != l.header {
+                continue;
+            }
+            let latch = l.latches[0];
+            // The latch must fall through to the header unconditionally —
+            // in a nested loop the latch can simultaneously be an inner
+            // loop's header, whose conditional terminator must survive.
+            if !matches!(f.block(latch).term, Terminator::Br(t) if t == l.header) {
+                continue;
+            }
+            let Some(pre) = l.preheader else { continue };
+            if l.exits.len() != 1 {
+                continue;
+            }
+            let exit = l.exits[0];
+            if cfg.preds[exit.index()] != vec![l.header] {
+                continue;
+            }
+            // Header: phis + the exit compare only.
+            let header_insts = f.block(l.header).insts.clone();
+            let phis: Vec<InstId> = header_insts
+                .iter()
+                .copied()
+                .take_while(|&i| f.inst(i).kind.is_phi())
+                .collect();
+            let rest: Vec<InstId> = header_insts[phis.len()..].to_vec();
+            if rest.len() != 1 || rest[0] != tc.cmp {
+                continue;
+            }
+            // The exit compare must feed only the header terminator;
+            // anything else would dangle after the header is deleted.
+            {
+                let du = DefUse::new(f);
+                if !du.uses_of(tc.cmp).iter().all(|u| {
+                    matches!(u, mlcomp_ir::analysis::UseSite::Term(b) if *b == l.header)
+                }) {
+                    continue;
+                }
+            }
+            // No values from non-header loop blocks may be used outside.
+            let du = DefUse::new(f);
+            let mut ok = true;
+            for &b in &l.blocks {
+                if b == l.header {
+                    continue;
+                }
+                for &id in &f.block(b).insts {
+                    if du
+                        .uses_of(id)
+                        .iter()
+                        .any(|u| !l.blocks.contains(&u.block()))
+                    {
+                        ok = false;
+                    }
+                }
+            }
+            // Exit block must not have phis that reference loop internals
+            // other than header phis (header-phi uses handled below).
+            if !ok {
+                continue;
+            }
+            // Body region: loop blocks minus header, entered at the
+            // header's in-loop successor.
+            let Terminator::CondBr {
+                then_bb, else_bb, ..
+            } = f.block(l.header).term.clone()
+            else {
+                continue;
+            };
+            let body_entry = if l.blocks.contains(&then_bb) {
+                then_bb
+            } else {
+                else_bb
+            };
+            if body_entry == l.header {
+                continue; // self-loop; nothing to unroll structurally
+            }
+            let mut region: Vec<BlockId> = l
+                .blocks
+                .iter()
+                .copied()
+                .filter(|&b| b != l.header)
+                .collect();
+            region.sort_unstable();
+
+            // Per-phi current value, starting with the init incoming.
+            let mut cur: HashMap<InstId, Value> = HashMap::new();
+            let mut latch_in: HashMap<InstId, Value> = HashMap::new();
+            for &p in &phis {
+                let InstKind::Phi { incomings } = &f.inst(p).kind else {
+                    unreachable!()
+                };
+                let init = incomings.iter().find(|(x, _)| *x == pre).map(|(_, v)| *v);
+                let next = incomings
+                    .iter()
+                    .find(|(x, _)| *x == latch)
+                    .map(|(_, v)| *v);
+                match (init, next) {
+                    (Some(i), Some(n)) => {
+                        cur.insert(p, i);
+                        latch_in.insert(p, n);
+                    }
+                    _ => ok = false,
+                }
+            }
+            if !ok {
+                continue;
+            }
+
+            let mut link = pre; // block that branches into the next copy
+            for _k in 0..trips {
+                let map = clone_region(f, &region);
+                let inst_map = build_inst_map(f, &region, &map);
+                // Substitute header-phi uses in the copy with current vals.
+                for (&_old, &new_b) in &map {
+                    for &nid in &f.block(new_b).insts.clone() {
+                        f.inst_mut(nid).kind.map_operands(|v| {
+                            if let Value::Inst(i) = v {
+                                if let Some(c) = cur.get(&i) {
+                                    return *c;
+                                }
+                            }
+                            v
+                        });
+                        // Phis in the copy that referenced the header as a
+                        // pred now come from `link`.
+                    }
+                    f.rename_phi_pred(new_b, l.header, link);
+                    let mut term = f.block(new_b).term.clone();
+                    term.map_operands(|v| {
+                        if let Value::Inst(i) = v {
+                            if let Some(c) = cur.get(&i) {
+                                return *c;
+                            }
+                        }
+                        v
+                    });
+                    f.block_mut(new_b).term = term;
+                }
+                // Link the previous block to this copy's entry.
+                let entry_copy = map[&body_entry];
+                let mut term = f.block(link).term.clone();
+                term.map_targets(|t| {
+                    if t == l.header {
+                        entry_copy
+                    } else {
+                        t
+                    }
+                });
+                f.block_mut(link).term = term;
+                // The copy's latch ends the iteration.
+                let latch_copy = map[&latch];
+                f.block_mut(latch_copy).term = Terminator::Br(l.header); // placeholder; fixed next loop or at the end
+                link = latch_copy;
+                // Advance phi values to the latch incomings, remapped into
+                // this copy.
+                let mut next_cur = HashMap::new();
+                for &p in &phis {
+                    let nv = latch_in[&p];
+                    let remapped = match nv {
+                        Value::Inst(i) => {
+                            if let Some(c) = cur.get(&i) {
+                                *c
+                            } else if let Some(&ni) = inst_map.get(&i) {
+                                Value::Inst(ni)
+                            } else {
+                                nv
+                            }
+                        }
+                        _ => nv,
+                    };
+                    next_cur.insert(p, remapped);
+                }
+                cur = next_cur;
+            }
+            // Final link goes to the exit.
+            let mut term = f.block(link).term.clone();
+            term.map_targets(|t| if t == l.header { exit } else { t });
+            f.block_mut(link).term = term;
+
+            // Outside uses of header phis → final values; of the compare →
+            // false (loop exited).
+            for &p in &phis {
+                let fv = cur[&p];
+                f.replace_all_uses(p, fv);
+            }
+            f.replace_all_uses(tc.cmp, Value::bool(false));
+            // Exit phis referencing the header as pred now come from link.
+            f.rename_phi_pred(exit, l.header, link);
+            // Delete the old loop blocks.
+            for &b in &l.blocks {
+                f.delete_block(b);
+            }
+            remove_unreachable_blocks(f);
+            unrolled = true;
+            changed = true;
+            break;
+        }
+        if !unrolled {
+            break;
+        }
+    }
+    changed | trivial_dce(m, f, false)
+}
+
+fn build_inst_map(
+    f: &Function,
+    region: &[BlockId],
+    block_map: &HashMap<BlockId, BlockId>,
+) -> HashMap<InstId, InstId> {
+    let mut map = HashMap::new();
+    for &b in region {
+        let new_b = block_map[&b];
+        let old_ids = &f.block(b).insts;
+        let new_ids = &f.block(new_b).insts;
+        for (o, n) in old_ids.iter().zip(new_ids.iter()) {
+            map.insert(*o, *n);
+        }
+    }
+    map
+}
+
+/// `loop-deletion`: removes loops with no observable effects — no stores,
+/// no calls, no loop-defined values used outside — and a provably finite
+/// trip count.
+pub fn loop_deletion(m: &Module, f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let (cfg, _dt, lf) = forest(f);
+        let mut deleted = false;
+        for l in &lf.loops {
+            if l.trip_count(f).is_none() {
+                continue; // cannot prove termination
+            }
+            let Some(pre) = l.preheader else { continue };
+            if l.exits.len() != 1 || l.exiting.len() != 1 || l.exiting[0] != l.header {
+                continue;
+            }
+            let exit = l.exits[0];
+            if cfg.preds[exit.index()] != vec![l.header] {
+                continue;
+            }
+            // No side effects at all inside.
+            let effect_free = l.blocks.iter().all(|&b| {
+                f.block(b)
+                    .insts
+                    .iter()
+                    .all(|&id| !f.inst(id).kind.has_side_effects())
+            });
+            if !effect_free {
+                continue;
+            }
+            // No loop value used outside.
+            let du = DefUse::new(f);
+            let leaks = l.blocks.iter().any(|&b| {
+                f.block(b).insts.iter().any(|&id| {
+                    du.uses_of(id)
+                        .iter()
+                        .any(|u| !l.blocks.contains(&u.block()))
+                })
+            });
+            if leaks {
+                continue;
+            }
+            // Exit phis from the header must reference invariant values.
+            let mut ok = true;
+            for &id in &f.block(exit).insts.clone() {
+                if let InstKind::Phi { incomings } = &f.inst(id).kind {
+                    for (p, v) in incomings {
+                        if *p == l.header && !is_invariant(f, l, *v) {
+                            ok = false;
+                        }
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // Retarget preheader straight to the exit.
+            let mut term = f.block(pre).term.clone();
+            term.map_targets(|t| if t == l.header { exit } else { t });
+            f.block_mut(pre).term = term;
+            f.rename_phi_pred(exit, l.header, pre);
+            for &b in &l.blocks {
+                f.delete_block(b);
+            }
+            remove_unreachable_blocks(f);
+            deleted = true;
+            changed = true;
+            break;
+        }
+        if !deleted {
+            break;
+        }
+    }
+    changed | trivial_dce(m, f, false)
+}
+
+/// `loop-idiom`: recognizes memset loops — a canonical counted loop whose
+/// body only stores a loop-invariant value at `base + iv` — and replaces
+/// them with a `memset` intrinsic; the analogous load/store pattern
+/// becomes `memcpy`.
+pub fn loop_idiom(m: &Module, f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let (cfg, _dt, lf) = forest(f);
+        let mut rewritten = false;
+        for l in &lf.loops {
+            let Some(tc) = l.trip_count(f) else { continue };
+            if tc.step != 1 {
+                continue;
+            }
+            let Some(pre) = l.preheader else { continue };
+            if l.blocks.len() != 3 || l.latches.len() != 1 {
+                continue; // header + single body + latch
+            }
+            let latch = l.latches[0];
+            let body: Vec<BlockId> = l
+                .blocks
+                .iter()
+                .copied()
+                .filter(|&b| b != l.header && b != latch)
+                .collect();
+            let [body] = body.as_slice() else { continue };
+            let body = *body;
+            if l.exits.len() != 1 {
+                continue;
+            }
+            let exit = l.exits[0];
+            if cfg.preds[exit.index()] != vec![l.header] {
+                continue;
+            }
+            // Latch must only advance the IV.
+            let latch_ok = f.block(latch).insts.iter().all(|&id| {
+                matches!(&f.inst(id).kind, InstKind::Bin { op: BinOp::Add, lhs, .. }
+                    if *lhs == Value::Inst(tc.iv_phi))
+            });
+            if !latch_ok {
+                continue;
+            }
+            // Body: gep(base, iv) + store(gep, invariant) [memset], or
+            // plus gep(src, iv) + load [memcpy].
+            let ids = f.block(body).insts.clone();
+            let mut geps: HashMap<InstId, Value> = HashMap::new(); // gep → base
+            let mut the_store: Option<(Value, Value)> = None; // (gep result, value)
+            let mut the_load: Option<(InstId, Value)> = None; // (load id, gep result)
+            let mut ok = true;
+            for &id in &ids {
+                match &f.inst(id).kind {
+                    InstKind::Gep { base, offset } => {
+                        if *offset == Value::Inst(tc.iv_phi) && is_invariant(f, l, *base) {
+                            geps.insert(id, *base);
+                        } else {
+                            ok = false;
+                        }
+                    }
+                    InstKind::Store { ptr, value, .. } => {
+                        if the_store.is_some() {
+                            ok = false;
+                        }
+                        the_store = Some((*ptr, *value));
+                    }
+                    InstKind::Load { ptr, .. } => {
+                        if the_load.is_some() {
+                            ok = false;
+                        }
+                        the_load = Some((id, *ptr));
+                    }
+                    _ => ok = false,
+                }
+            }
+            let Some((sptr, sval)) = the_store else { continue };
+            if !ok {
+                continue;
+            }
+            let Some(dst_base) = sptr.as_inst().and_then(|i| geps.get(&i)).copied() else {
+                continue;
+            };
+            // Header phis: only the IV (an accumulator would change value).
+            let header_phis = f
+                .block(l.header)
+                .insts
+                .iter()
+                .filter(|&&i| f.inst(i).kind.is_phi())
+                .count();
+            if header_phis != 1 {
+                continue;
+            }
+            // No loop value used outside.
+            let du = DefUse::new(f);
+            let leaks = l.blocks.iter().any(|&b| {
+                f.block(b).insts.iter().any(|&id| {
+                    du.uses_of(id)
+                        .iter()
+                        .any(|u| !l.blocks.contains(&u.block()))
+                })
+            });
+            if leaks {
+                continue;
+            }
+            // Exit must not have phis fed by the loop.
+            if f.block(exit)
+                .insts
+                .iter()
+                .any(|&i| f.inst(i).kind.is_phi())
+            {
+                continue;
+            }
+
+            let intrinsic = match (the_load, sval) {
+                (None, v) if is_invariant(f, l, v) => {
+                    // memset(base + start, v, bound - start)
+                    Some((dst_base, None, v))
+                }
+                (Some((lid, lptr)), v) if v == Value::Inst(lid) => {
+                    let src_base = lptr.as_inst().and_then(|i| geps.get(&i)).copied();
+                    src_base.map(|sb| (dst_base, Some(sb), Value::i64(0)))
+                }
+                _ => None,
+            };
+            let Some((dst_base, src_base, fill)) = intrinsic else {
+                continue;
+            };
+            // Overlap safety for memcpy: forward cell-by-cell copy is what
+            // the loop did, and our memcpy is forward too, so overlap is
+            // preserved; still require distinct known roots when both are
+            // known to avoid exotic aliasing through unknown pointers.
+            if let Some(sb) = src_base {
+                let (dr, sr) = (mem_root(f, dst_base), mem_root(f, sb));
+                if dr == MemRoot::Unknown && sr == MemRoot::Unknown {
+                    continue;
+                }
+            }
+
+            // Materialize in the preheader: count = bound - start.
+            let ty = Type::I64;
+            let count = f.add_inst(Inst::new(
+                InstKind::Bin {
+                    op: BinOp::Sub,
+                    lhs: tc.bound,
+                    rhs: tc.start,
+                    width: 1,
+                },
+                ty,
+            ));
+            let dptr = f.add_inst(Inst::new(
+                InstKind::Gep {
+                    base: dst_base,
+                    offset: tc.start,
+                },
+                Type::Ptr,
+            ));
+            f.block_mut(pre).insts.push(count);
+            f.block_mut(pre).insts.push(dptr);
+            let intr = match src_base {
+                None => InstKind::Memset {
+                    ptr: Value::Inst(dptr),
+                    value: fill,
+                    count: Value::Inst(count),
+                },
+                Some(sb) => {
+                    let sptr = f.add_inst(Inst::new(
+                        InstKind::Gep {
+                            base: sb,
+                            offset: tc.start,
+                        },
+                        Type::Ptr,
+                    ));
+                    f.block_mut(pre).insts.push(sptr);
+                    InstKind::Memcpy {
+                        dst: Value::Inst(dptr),
+                        src: Value::Inst(sptr),
+                        count: Value::Inst(count),
+                    }
+                }
+            };
+            let intr_id = f.add_inst(Inst::new(intr, Type::Void));
+            f.block_mut(pre).insts.push(intr_id);
+            // Bypass the loop.
+            let mut term = f.block(pre).term.clone();
+            term.map_targets(|t| if t == l.header { exit } else { t });
+            f.block_mut(pre).term = term;
+            for &b in &l.blocks {
+                f.delete_block(b);
+            }
+            remove_unreachable_blocks(f);
+            rewritten = true;
+            changed = true;
+            break;
+        }
+        if !rewritten {
+            break;
+        }
+    }
+    changed | trivial_dce(m, f, false)
+}
+
+/// `loop-unswitch`: a loop branching on a loop-invariant condition is
+/// duplicated — one specialized copy per branch direction — and the
+/// preheader selects the right copy, removing the branch from the hot
+/// path.
+pub fn loop_unswitch(m: &Module, f: &mut Function) -> bool {
+    let mut changed = false;
+    let (_cfg, _dt, lf) = forest(f);
+    'loops: for l in &lf.loops {
+        let size: usize = l.blocks.iter().map(|&b| f.block(b).insts.len()).sum();
+        if size > UNSWITCH_BUDGET {
+            continue;
+        }
+        let Some(pre) = l.preheader else { continue };
+        // Exits must have no phis and no loop value may be used outside.
+        for &e in &l.exits {
+            if f.block(e).insts.iter().any(|&i| f.inst(i).kind.is_phi()) {
+                continue 'loops;
+            }
+        }
+        let du = DefUse::new(f);
+        let leaks = l.blocks.iter().any(|&b| {
+            f.block(b).insts.iter().any(|&id| {
+                du.uses_of(id)
+                    .iter()
+                    .any(|u| !l.blocks.contains(&u.block()))
+            })
+        });
+        if leaks {
+            continue;
+        }
+        // Find an invariant conditional branch inside the loop (not the
+        // loop-exit test in the header).
+        let mut target: Option<(BlockId, Value, BlockId, BlockId)> = None;
+        let mut search_blocks: Vec<BlockId> = l.blocks.iter().copied().collect();
+        search_blocks.sort_unstable();
+        for &b in &search_blocks {
+            if let Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+                ..
+            } = &f.block(b).term
+            {
+                if is_invariant(f, l, *cond)
+                    && l.blocks.contains(then_bb)
+                    && l.blocks.contains(else_bb)
+                    && then_bb != else_bb
+                {
+                    target = Some((b, *cond, *then_bb, *else_bb));
+                    break;
+                }
+            }
+        }
+        let Some((cb, cond, then_bb, else_bb)) = target else {
+            continue;
+        };
+        // Clone the loop; original becomes the cond-true version. Sorted
+        // region order keeps the clone's block ids deterministic.
+        let mut region: Vec<BlockId> = l.blocks.iter().copied().collect();
+        region.sort_unstable();
+        let map = clone_region(f, &region);
+        // Original: branch always-then. Clone: always-else. The dropped
+        // edges must disappear from the target phis too.
+        f.block_mut(cb).term = Terminator::Br(then_bb);
+        f.remove_phi_edges(else_bb, cb);
+        let cb_clone = map[&cb];
+        let else_clone = map[&else_bb];
+        let then_clone = map[&then_bb];
+        f.block_mut(cb_clone).term = Terminator::Br(else_clone);
+        f.remove_phi_edges(then_clone, cb_clone);
+        // Preheader dispatches on the invariant condition.
+        let header_clone = map[&l.header];
+        // Clone phis in header_clone still reference `pre` as pred — fine.
+        f.block_mut(pre).term = Terminator::CondBr {
+            cond,
+            then_bb: l.header,
+            else_bb: header_clone,
+            weight: None,
+        };
+        changed = true;
+        break;
+    }
+    if changed {
+        remove_unreachable_blocks(f);
+        trivial_dce(m, f, false);
+    }
+    changed
+}
+
+/// `loop-sink`: moves computations from the preheader into the loop header
+/// when their only uses are inside the loop. This is profitable when the
+/// loop is rarely entered (LLVM guards it with profile data; here it is an
+/// unconditional trade-off the phase-selection policy must learn to place).
+pub fn loop_sink(m: &Module, f: &mut Function) -> bool {
+    let mut changed = false;
+    let (_cfg, _dt, lf) = forest(f);
+    for l in &lf.loops {
+        let Some(pre) = l.preheader else { continue };
+        let du = DefUse::new(f);
+        let ids = f.block(pre).insts.clone();
+        for id in ids.into_iter().rev() {
+            let kind = &f.inst(id).kind;
+            if !kind.is_pure() || kind.is_phi() {
+                continue;
+            }
+            let uses = du.uses_of(id);
+            if uses.is_empty() {
+                continue;
+            }
+            let all_inside = uses.iter().all(|u| l.blocks.contains(&u.block()));
+            // Operands must not be defined later in the preheader… they are
+            // earlier by construction; sinking to the header keeps order.
+            if all_inside {
+                f.remove_from_block(pre, id);
+                // Insert after the header's phis.
+                let pos = f
+                    .block(l.header)
+                    .insts
+                    .iter()
+                    .position(|&i| !f.inst(i).kind.is_phi())
+                    .unwrap_or(f.block(l.header).insts.len());
+                f.block_mut(l.header).insts.insert(pos, id);
+                changed = true;
+            }
+        }
+    }
+    changed | trivial_dce(m, f, false)
+}
+
+/// `loop-load-elim`: forwards stored values to loads of the same address
+/// within a loop iteration (a loop-focused subset of `gvn`, cheap enough
+/// to run repeatedly between other loop phases).
+pub fn loop_load_elim(m: &Module, f: &mut Function) -> bool {
+    let mut changed = false;
+    let (_cfg, _dt, lf) = forest(f);
+    let loop_blocks: HashSet<BlockId> = lf
+        .loops
+        .iter()
+        .flat_map(|l| l.blocks.iter().copied())
+        .collect();
+    for &b in &loop_blocks {
+        // Block-local forwarding inside loop bodies.
+        let ids = f.block(b).insts.clone();
+        let mut avail: HashMap<Value, Value> = HashMap::new();
+        let mut replace: Vec<(InstId, Value)> = Vec::new();
+        for &id in &ids {
+            match f.inst(id).kind.clone() {
+                InstKind::Store { ptr, value, .. } => {
+                    let root = mem_root(f, ptr);
+                    avail.retain(|p, _| !may_alias(mem_root(f, *p), root));
+                    avail.insert(ptr, value);
+                }
+                InstKind::Load { ptr, .. } => {
+                    if let Some(&v) = avail.get(&ptr) {
+                        if f.value_type(v) == f.inst(id).ty {
+                            replace.push((id, v));
+                            continue;
+                        }
+                    }
+                    avail.insert(ptr, Value::Inst(id));
+                }
+                InstKind::Memset { .. } | InstKind::Memcpy { .. } => avail.clear(),
+                InstKind::Call { callee, .. } => {
+                    let readnone = match callee {
+                        Callee::Direct(c) => m
+                            .functions
+                            .get(c.index())
+                            .map(|cf| cf.attrs.readnone)
+                            .unwrap_or(false),
+                        Callee::Indirect(_) => false,
+                    };
+                    if !readnone {
+                        avail.clear();
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (id, v) in replace {
+            f.replace_all_uses(id, v);
+            f.remove_from_block(b, id);
+            changed = true;
+        }
+    }
+    changed | trivial_dce(m, f, false)
+}
+
+/// `loop-distribute`: splits a counted loop whose single body block writes
+/// two independent, non-aliasing memory roots into two sequential loops —
+/// the enabling transform for vectorizing one of the halves.
+pub fn loop_distribute(m: &Module, f: &mut Function) -> bool {
+    let mut changed = false;
+    let (cfg, _dt, lf) = forest(f);
+    'loops: for l in &lf.loops {
+        let Some(tc) = l.trip_count(f) else { continue };
+        let Some(pre) = l.preheader else { continue };
+        if l.blocks.len() != 3 || l.latches.len() != 1 || l.exits.len() != 1 {
+            continue;
+        }
+        let latch = l.latches[0];
+        let exit = l.exits[0];
+        if cfg.preds[exit.index()] != vec![l.header] {
+            continue;
+        }
+        let body = *l
+            .blocks
+            .iter()
+            .find(|&&b| b != l.header && b != latch)
+            .unwrap();
+        // Header: only the IV phi + compare.
+        let header_phis: Vec<InstId> = f
+            .block(l.header)
+            .insts
+            .iter()
+            .copied()
+            .filter(|&i| f.inst(i).kind.is_phi())
+            .collect();
+        if header_phis != vec![tc.iv_phi] {
+            continue;
+        }
+        // No loop value used outside; exit has no phis.
+        let du = DefUse::new(f);
+        for &b in &l.blocks {
+            for &id in &f.block(b).insts {
+                if du
+                    .uses_of(id)
+                    .iter()
+                    .any(|u| !l.blocks.contains(&u.block()))
+                {
+                    continue 'loops;
+                }
+            }
+        }
+        if f.block(exit).insts.iter().any(|&i| f.inst(i).kind.is_phi()) {
+            continue;
+        }
+        // Partition body instructions into two independent store chains.
+        let ids = f.block(body).insts.clone();
+        let stores: Vec<InstId> = ids
+            .iter()
+            .copied()
+            .filter(|&id| matches!(f.inst(id).kind, InstKind::Store { .. }))
+            .collect();
+        if stores.len() != 2 {
+            continue;
+        }
+        if ids
+            .iter()
+            .any(|&id| matches!(f.inst(id).kind, InstKind::Call { .. } | InstKind::Memset { .. } | InstKind::Memcpy { .. }))
+        {
+            continue;
+        }
+        // Compute the backward slice of each store within the body.
+        let slice = |store: InstId, f: &Function| -> HashSet<InstId> {
+            let mut s = HashSet::new();
+            let mut work = vec![store];
+            while let Some(id) = work.pop() {
+                if !s.insert(id) {
+                    continue;
+                }
+                f.inst(id).kind.for_each_operand(|v| {
+                    if let Value::Inst(d) = v {
+                        if ids.contains(&d) {
+                            work.push(d);
+                        }
+                    }
+                });
+            }
+            s
+        };
+        let s1 = slice(stores[0], f);
+        let s2 = slice(stores[1], f);
+        if !s1.is_disjoint(&s2) {
+            continue; // shared computation; keep fused
+        }
+        if s1.len() + s2.len() != ids.len() {
+            continue; // leftover insts (e.g. loads feeding nothing)
+        }
+        // Store roots must be distinct and known.
+        let root_of = |sid: InstId, f: &Function| -> MemRoot {
+            match &f.inst(sid).kind {
+                InstKind::Store { ptr, .. } => mem_root(f, *ptr),
+                _ => MemRoot::Unknown,
+            }
+        };
+        let (r1, r2) = (root_of(stores[0], f), root_of(stores[1], f));
+        if r1 == MemRoot::Unknown || r2 == MemRoot::Unknown || may_alias(r1, r2) {
+            continue;
+        }
+        // Loads in each slice must not read the other slice's store root
+        // (no cross-loop dependence after distribution).
+        let loads_ok = |s: &HashSet<InstId>, other_root: MemRoot, f: &Function| -> bool {
+            s.iter().all(|&id| match &f.inst(id).kind {
+                InstKind::Load { ptr, .. } => !may_alias(mem_root(f, *ptr), other_root),
+                _ => true,
+            })
+        };
+        if !loads_ok(&s1, r2, f) || !loads_ok(&s2, r1, f) {
+            continue;
+        }
+        // Also no slice may load its *own* store root (cross-iteration
+        // dependence would make reordering iterations unsound — here we
+        // keep iteration order per loop, but loads of the other root were
+        // the real hazard; self-root loads are fine).
+
+        // Clone the whole loop; original keeps slice 1, clone keeps 2.
+        let mut region: Vec<BlockId> = l.blocks.iter().copied().collect();
+        region.sort_unstable();
+        let map = clone_region(f, &region);
+        let inst_map = build_inst_map(f, &region, &map);
+        // Original body: drop slice-2 instructions.
+        for &id in &ids {
+            if s2.contains(&id) {
+                f.remove_from_block(body, id);
+            }
+        }
+        // Clone body: drop slice-1 clones.
+        let body_clone = map[&body];
+        for &id in &ids {
+            if s1.contains(&id) {
+                if let Some(&nid) = inst_map.get(&id) {
+                    f.remove_from_block(body_clone, nid);
+                }
+            }
+        }
+        // Chain: original exit edge → clone header; clone keeps exit.
+        let header_clone = map[&l.header];
+        let mut term = f.block(l.header).term.clone();
+        term.map_targets(|t| if t == exit { header_clone } else { t });
+        f.block_mut(l.header).term = term;
+        // The clone's header phis reference `pre` (cloned as-is); retarget
+        // to the original header (which now acts as the clone's preheader).
+        f.rename_phi_pred(header_clone, pre, l.header);
+        let _ = tc;
+        changed = true;
+        break;
+    }
+    if changed {
+        remove_unreachable_blocks(f);
+        trivial_dce(m, f, false);
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::all_insts;
+    use mlcomp_ir::{verify, Interpreter, ModuleBuilder, RtVal};
+
+    fn exec(m: &Module, name: &str, args: &[RtVal]) -> Option<RtVal> {
+        let fid = m.find_function(name).unwrap();
+        Interpreter::new(m).run(fid, args).unwrap().ret
+    }
+
+    /// sum += g[0] * i — the `g[0]` load is invariant but only hoistable
+    /// after rotation.
+    fn invariant_load_loop() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_const_global("g", vec![3]);
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let acc = b.local(b.const_i64(0));
+            b.for_loop(b.const_i64(0), b.param(0), 1, |b, i| {
+                let k = b.load(b.global_addr(g), Type::I64);
+                let t = b.mul(k, i);
+                let c = b.load(acc, Type::I64);
+                let n = b.add(c, t);
+                b.store(acc, n);
+            });
+            let r = b.load(acc, Type::I64);
+            b.ret(Some(r));
+        }
+        mb.finish_function();
+        mb.build()
+    }
+
+    #[test]
+    fn licm_hoists_pure_invariant() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64, Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let acc = b.local(b.const_i64(0));
+            b.for_loop(b.const_i64(0), b.param(0), 1, |b, _i| {
+                let inv = b.mul(b.param(1), b.param(1)); // invariant
+                let c = b.load(acc, Type::I64);
+                let n = b.add(c, inv);
+                b.store(acc, n);
+            });
+            let r = b.load(acc, Type::I64);
+            b.ret(Some(r));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(licm(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(
+            exec(&m, "f", &[RtVal::I(4), RtVal::I(3)]),
+            Some(RtVal::I(36))
+        );
+        // The multiply now executes once, not per iteration.
+        let fid = m.find_function("f").unwrap();
+        let out = Interpreter::new(&m).run(fid, &[RtVal::I(100), RtVal::I(2)]).unwrap();
+        assert_eq!(out.counts.int_mul, 1);
+    }
+
+    #[test]
+    fn rotate_enables_load_hoisting() {
+        // Before rotation licm cannot hoist the load (body does not
+        // dominate the exiting header); after rotation it can.
+        let mut m1 = invariant_load_loop();
+        let mc = m1.clone();
+        licm(&mc, &mut m1.functions[0]);
+        verify(&m1).unwrap();
+        let f1 = m1.find_function("f").unwrap();
+        let loads_unrotated = Interpreter::new(&m1)
+            .run(f1, &[RtVal::I(50)])
+            .unwrap()
+            .counts
+            .load;
+
+        let mut m2 = invariant_load_loop();
+        let mc2 = m2.clone();
+        crate::memory::mem2reg(&mc2, &mut m2.functions[0]);
+        assert!(loop_rotate(&mc2, &mut m2.functions[0]));
+        verify(&m2).unwrap();
+        licm(&mc2, &mut m2.functions[0]);
+        verify(&m2).unwrap();
+        let f2 = m2.find_function("f").unwrap();
+        let out = Interpreter::new(&m2).run(f2, &[RtVal::I(50)]).unwrap();
+        assert_eq!(out.ret, Some(RtVal::I(3 * (49 * 50 / 2))));
+        assert!(
+            out.counts.load < loads_unrotated,
+            "rotation+licm must reduce dynamic loads ({} vs {})",
+            out.counts.load,
+            loads_unrotated
+        );
+    }
+
+    #[test]
+    fn rotate_preserves_zero_trip_loops() {
+        let mut m = invariant_load_loop();
+        let mc = m.clone();
+        crate::memory::mem2reg(&mc, &mut m.functions[0]);
+        loop_rotate(&mc, &mut m.functions[0]);
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[RtVal::I(0)]), Some(RtVal::I(0)));
+        assert_eq!(exec(&m, "f", &[RtVal::I(-3)]), Some(RtVal::I(0)));
+        assert_eq!(exec(&m, "f", &[RtVal::I(1)]), Some(RtVal::I(0)));
+        assert_eq!(exec(&m, "f", &[RtVal::I(3)]), Some(RtVal::I(9)));
+    }
+
+    #[test]
+    fn unroll_constant_trip_loop() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let acc = b.local(b.const_i64(0));
+            b.for_loop(b.const_i64(0), b.const_i64(8), 1, |b, i| {
+                let c = b.load(acc, Type::I64);
+                let t = b.mul(i, b.param(0));
+                let n = b.add(c, t);
+                b.store(acc, n);
+            });
+            let r = b.load(acc, Type::I64);
+            b.ret(Some(r));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        crate::memory::mem2reg(&mc, &mut m.functions[0]);
+        assert!(loop_unroll(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[RtVal::I(3)]), Some(RtVal::I(84)));
+        // No branches left: the loop is gone.
+        let fid = m.find_function("f").unwrap();
+        let out = Interpreter::new(&m).run(fid, &[RtVal::I(3)]).unwrap();
+        assert_eq!(out.counts.branch, 0, "fully unrolled");
+    }
+
+    #[test]
+    fn unroll_zero_trip_loop() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let acc = b.local(b.param(0));
+            b.for_loop(b.const_i64(5), b.const_i64(5), 1, |b, _i| {
+                b.store(acc, b.const_i64(99));
+            });
+            let r = b.load(acc, Type::I64);
+            b.ret(Some(r));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        crate::memory::mem2reg(&mc, &mut m.functions[0]);
+        loop_unroll(&mc, &mut m.functions[0]);
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[RtVal::I(7)]), Some(RtVal::I(7)));
+    }
+
+    #[test]
+    fn deletion_removes_effect_free_loop() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            b.for_loop(b.const_i64(0), b.param(0), 1, |b, i| {
+                let _x = b.mul(i, i); // dead work
+            });
+            b.ret(Some(b.const_i64(1)));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(loop_deletion(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[RtVal::I(1000)]), Some(RtVal::I(1)));
+        let fid = m.find_function("f").unwrap();
+        let out = Interpreter::new(&m).run(fid, &[RtVal::I(1000)]).unwrap();
+        assert!(out.counts.branch < 3, "loop gone: {:?}", out.counts.branch);
+    }
+
+    #[test]
+    fn idiom_recognizes_memset_loop() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_global("buf", 64);
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            b.for_loop(b.const_i64(0), b.param(0), 1, |b, i| {
+                let p = b.gep(b.global_addr(g), i);
+                b.store(p, b.const_i64(7));
+            });
+            let p = b.gep(b.global_addr(g), b.const_i64(5));
+            let v = b.load(p, Type::I64);
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        crate::memory::mem2reg(&mc, &mut m.functions[0]);
+        assert!(loop_idiom(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        let f = &m.functions[0];
+        assert!(all_insts(f)
+            .iter()
+            .any(|(_, id)| matches!(f.inst(*id).kind, InstKind::Memset { .. })));
+        assert_eq!(exec(&m, "f", &[RtVal::I(10)]), Some(RtVal::I(7)));
+        assert_eq!(exec(&m, "f", &[RtVal::I(0)]), Some(RtVal::I(0)));
+    }
+
+    #[test]
+    fn idiom_recognizes_memcpy_loop() {
+        let mut mb = ModuleBuilder::new("t");
+        let src = mb.add_const_global("src", vec![9, 8, 7, 6]);
+        let dst = mb.add_global("dst", 4);
+        mb.begin_function("f", vec![], Type::I64);
+        {
+            let mut b = mb.body();
+            b.for_loop(b.const_i64(0), b.const_i64(4), 1, |b, i| {
+                let sp = b.gep(b.global_addr(src), i);
+                let v = b.load(sp, Type::I64);
+                let dp = b.gep(b.global_addr(dst), i);
+                b.store(dp, v);
+            });
+            let p = b.gep(b.global_addr(dst), b.const_i64(2));
+            let v = b.load(p, Type::I64);
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        crate::memory::mem2reg(&mc, &mut m.functions[0]);
+        assert!(loop_idiom(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        let f = &m.functions[0];
+        assert!(all_insts(f)
+            .iter()
+            .any(|(_, id)| matches!(f.inst(*id).kind, InstKind::Memcpy { .. })));
+        assert_eq!(exec(&m, "f", &[]), Some(RtVal::I(7)));
+    }
+
+    #[test]
+    fn unswitch_hoists_invariant_branch() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_global("out", 1);
+        mb.begin_function("f", vec![Type::I64, Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let flag = b.cmp(CmpPred::Gt, b.param(1), b.const_i64(0));
+            b.for_loop(b.const_i64(0), b.param(0), 1, |b, i| {
+                b.if_then(flag, |b| {
+                    let cur = b.load(b.global_addr(g), Type::I64);
+                    let n = b.add(cur, i);
+                    b.store(b.global_addr(g), n);
+                });
+            });
+            let v = b.load(b.global_addr(g), Type::I64);
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        crate::memory::mem2reg(&mc, &mut m.functions[0]);
+        assert!(loop_unswitch(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(
+            exec(&m, "f", &[RtVal::I(5), RtVal::I(1)]),
+            Some(RtVal::I(10))
+        );
+        // Reset global between runs: rebuild module.
+        let mut m2 = mb_rebuild();
+        let mc2 = m2.clone();
+        crate::memory::mem2reg(&mc2, &mut m2.functions[0]);
+        loop_unswitch(&mc2, &mut m2.functions[0]);
+        assert_eq!(
+            exec(&m2, "f", &[RtVal::I(5), RtVal::I(-1)]),
+            Some(RtVal::I(0))
+        );
+
+        fn mb_rebuild() -> Module {
+            let mut mb = ModuleBuilder::new("t");
+            let g = mb.add_global("out", 1);
+            mb.begin_function("f", vec![Type::I64, Type::I64], Type::I64);
+            {
+                let mut b = mb.body();
+                let flag = b.cmp(CmpPred::Gt, b.param(1), b.const_i64(0));
+                b.for_loop(b.const_i64(0), b.param(0), 1, |b, i| {
+                    b.if_then(flag, |b| {
+                        let cur = b.load(b.global_addr(g), Type::I64);
+                        let n = b.add(cur, i);
+                        b.store(b.global_addr(g), n);
+                    });
+                });
+                let v = b.load(b.global_addr(g), Type::I64);
+                b.ret(Some(v));
+            }
+            mb.finish_function();
+            mb.build()
+        }
+    }
+
+    #[test]
+    fn sink_moves_preheader_work_into_loop() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_global("out", 1);
+        mb.begin_function("f", vec![Type::I64, Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let inv = b.mul(b.param(1), b.param(1)); // used only in loop
+            b.for_loop(b.const_i64(0), b.param(0), 1, |b, _i| {
+                let cur = b.load(b.global_addr(g), Type::I64);
+                let n = b.add(cur, inv);
+                b.store(b.global_addr(g), n);
+            });
+            let v = b.load(b.global_addr(g), Type::I64);
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(loop_sink(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(
+            exec(&m, "f", &[RtVal::I(3), RtVal::I(2)]),
+            Some(RtVal::I(12))
+        );
+        // The multiply now runs per iteration (cost moved into the loop).
+        let fid = m.find_function("f").unwrap();
+        let out = Interpreter::new(&m).run(fid, &[RtVal::I(10), RtVal::I(2)]).unwrap();
+        assert!(out.counts.int_mul >= 10);
+    }
+
+    #[test]
+    fn load_elim_forwards_in_iteration() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_global("buf", 8);
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let acc = b.local(b.const_i64(0));
+            b.for_loop(b.const_i64(0), b.param(0), 1, |b, i| {
+                let off = b.and(i, b.const_i64(7));
+                let p = b.gep(b.global_addr(g), off);
+                b.store(p, i);
+                let v = b.load(p, Type::I64); // forwardable
+                let c = b.load(acc, Type::I64);
+                let n = b.add(c, v);
+                b.store(acc, n);
+            });
+            let r = b.load(acc, Type::I64);
+            b.ret(Some(r));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(loop_load_elim(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[RtVal::I(10)]), Some(RtVal::I(45)));
+    }
+
+    #[test]
+    fn distribute_splits_independent_chains() {
+        let mut mb = ModuleBuilder::new("t");
+        let g1 = mb.add_global("a", 32);
+        let g2 = mb.add_global("b", 32);
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            b.for_loop(b.const_i64(0), b.param(0), 1, |b, i| {
+                let p1 = b.gep(b.global_addr(g1), i);
+                let v1 = b.mul(i, b.const_i64(2));
+                b.store(p1, v1);
+                let p2 = b.gep(b.global_addr(g2), i);
+                let v2 = b.mul(i, b.const_i64(3));
+                b.store(p2, v2);
+            });
+            let pa = b.gep(b.global_addr(g1), b.const_i64(4));
+            let pb = b.gep(b.global_addr(g2), b.const_i64(4));
+            let va = b.load(pa, Type::I64);
+            let vb = b.load(pb, Type::I64);
+            let s = b.add(va, vb);
+            b.ret(Some(s));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        crate::memory::mem2reg(&mc, &mut m.functions[0]);
+        assert!(loop_distribute(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[RtVal::I(8)]), Some(RtVal::I(8 + 12)));
+        // Two loops now: twice the backward branches.
+        let (_c, _d, lf) = forest(&m.functions[0]);
+        assert_eq!(lf.loops.len(), 2);
+    }
+}

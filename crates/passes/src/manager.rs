@@ -1,0 +1,378 @@
+//! The pass manager: runs named phase sequences and defines the standard
+//! `-O1`/`-O2`/`-O3`/`-Oz` pipelines MLComp is evaluated against.
+
+use crate::registry::run_phase_on;
+use mlcomp_ir::Module;
+use std::fmt;
+
+/// Standard optimization levels, approximating LLVM's legacy pipelines at
+/// the granularity of Table VI's phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineLevel {
+    /// No optimization.
+    O0,
+    /// Quick cleanups: promotion, peepholes, CFG simplification.
+    O1,
+    /// The default production pipeline.
+    O2,
+    /// `O2` plus aggressive loop transforms and vectorization.
+    O3,
+    /// Size-focused: `O2`-style cleanups, no unrolling/vectorization, plus
+    /// global deduplication.
+    Oz,
+}
+
+impl PipelineLevel {
+    /// All levels, for sweeps.
+    pub const ALL: [PipelineLevel; 5] = [
+        PipelineLevel::O0,
+        PipelineLevel::O1,
+        PipelineLevel::O2,
+        PipelineLevel::O3,
+        PipelineLevel::Oz,
+    ];
+
+    /// The phase sequence of this level.
+    pub fn phases(self) -> &'static [&'static str] {
+        match self {
+            PipelineLevel::O0 => &[],
+            PipelineLevel::O1 => &[
+                "mem2reg",
+                "instcombine",
+                "simplifycfg",
+                "early-cse",
+                "sccp",
+                "adce",
+                "simplifycfg",
+            ],
+            PipelineLevel::O2 => &[
+                "lower-expect",
+                "prune-eh",
+                "inline",
+                "sroa",
+                "mem2reg",
+                "instcombine",
+                "simplifycfg",
+                "early-cse-memssa",
+                "speculative-execution",
+                "jump-threading",
+                "correlated-propagation",
+                "simplifycfg",
+                "instcombine",
+                "reassociate",
+                "loop-rotate",
+                "licm",
+                "loop-unswitch",
+                "indvars",
+                "loop-idiom",
+                "loop-deletion",
+                "gvn",
+                "memcpyopt",
+                "sccp",
+                "bdce",
+                "dse",
+                "mldst-motion",
+                "adce",
+                "simplifycfg",
+                "instcombine",
+                "globaldce",
+                "constmerge",
+            ],
+            PipelineLevel::O3 => &[
+                "lower-expect",
+                "prune-eh",
+                "callsite-splitting",
+                "ipsccp",
+                "called-value-propagation",
+                "globalopt",
+                "deadargelim",
+                "argpromotion",
+                "inline",
+                "sroa",
+                "mem2reg",
+                "instcombine",
+                "simplifycfg",
+                "early-cse-memssa",
+                "speculative-execution",
+                "jump-threading",
+                "correlated-propagation",
+                "aggressive-instcombine",
+                "simplifycfg",
+                "instcombine",
+                "tailcallelim",
+                "reassociate",
+                "loop-rotate",
+                "licm",
+                "loop-unswitch",
+                "indvars",
+                "loop-idiom",
+                "loop-deletion",
+                "loop-unroll",
+                "gvn",
+                "memcpyopt",
+                "sccp",
+                "bdce",
+                "instcombine",
+                "jump-threading",
+                "correlated-propagation",
+                "dse",
+                "licm",
+                "adce",
+                "simplifycfg",
+                "instcombine",
+                "float2int",
+                "loop-distribute",
+                "loop-vectorize",
+                "loop-load-elim",
+                "slp-vectorizer",
+                "div-rem-pairs",
+                "alignment-from-assumptions",
+                "globals-aa",
+                "globaldce",
+                "constmerge",
+            ],
+            PipelineLevel::Oz => &[
+                "lower-expect",
+                "prune-eh",
+                "ipsccp",
+                "globalopt",
+                "deadargelim",
+                "inline",
+                "sroa",
+                "mem2reg",
+                "instsimplify",
+                "simplifycfg",
+                "early-cse",
+                "sccp",
+                "bdce",
+                "dse",
+                "adce",
+                "simplifycfg",
+                "instcombine",
+                "loop-deletion",
+                "loop-idiom",
+                "elim-avail-extern",
+                "globaldce",
+                "constmerge",
+            ],
+        }
+    }
+
+    /// Conventional flag name (`-O2` etc.).
+    pub fn flag(self) -> &'static str {
+        match self {
+            PipelineLevel::O0 => "-O0",
+            PipelineLevel::O1 => "-O1",
+            PipelineLevel::O2 => "-O2",
+            PipelineLevel::O3 => "-O3",
+            PipelineLevel::Oz => "-Oz",
+        }
+    }
+}
+
+impl fmt::Display for PipelineLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.flag())
+    }
+}
+
+/// Error returned when a phase name is not in the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPhaseError(pub String);
+
+impl fmt::Display for UnknownPhaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown optimization phase `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownPhaseError {}
+
+/// Runs phases and pipelines over modules, optionally verifying the IR
+/// after every phase (used pervasively in tests; cheap enough to leave on
+/// for experiments too).
+#[derive(Debug, Clone)]
+pub struct PassManager {
+    /// Verify IR well-formedness after every phase, panicking on breakage.
+    pub verify_each: bool,
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager { verify_each: false }
+    }
+}
+
+impl PassManager {
+    /// Creates a manager that does not verify between phases.
+    pub fn new() -> PassManager {
+        PassManager::default()
+    }
+
+    /// Creates a manager that verifies the module after every phase.
+    pub fn verifying() -> PassManager {
+        PassManager { verify_each: true }
+    }
+
+    /// Runs a single phase by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownPhaseError`] if the name is not registered.
+    ///
+    /// # Panics
+    ///
+    /// With [`PassManager::verifying`], panics if the phase produces
+    /// ill-formed IR.
+    pub fn run_phase(&self, m: &mut Module, name: &str) -> Result<bool, UnknownPhaseError> {
+        let changed =
+            run_phase_on(m, name).ok_or_else(|| UnknownPhaseError(name.to_string()))?;
+        if self.verify_each {
+            if let Err(e) = mlcomp_ir::verify(m) {
+                panic!("phase `{name}` produced invalid IR: {e}");
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Runs a sequence of phases; returns the number that reported changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownPhaseError`] on the first unknown name (earlier
+    /// phases stay applied).
+    pub fn run_sequence<'a>(
+        &self,
+        m: &mut Module,
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> Result<usize, UnknownPhaseError> {
+        let mut changed = 0;
+        for name in names {
+            if self.run_phase(m, name)? {
+                changed += 1;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Runs a standard pipeline level.
+    pub fn run_level(&self, m: &mut Module, level: PipelineLevel) -> usize {
+        self.run_sequence(m, level.phases().iter().copied())
+            .expect("pipeline levels only use registered phases")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcomp_ir::{verify, Interpreter, ModuleBuilder, RtVal, Type};
+
+    fn workload() -> Module {
+        let mut mb = ModuleBuilder::new("w");
+        let helper = mb.declare("helper", vec![Type::I64], Type::I64);
+        mb.begin_existing(helper);
+        {
+            let mut b = mb.body();
+            let v = b.mul(b.param(0), b.const_i64(3));
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        mb.set_internal(helper);
+        mb.begin_function("main", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let acc = b.local(b.const_i64(0));
+            b.for_loop(b.const_i64(0), b.param(0), 1, |b, i| {
+                let h = b.call(helper, vec![i], Type::I64);
+                let c = b.load(acc, Type::I64);
+                let n = b.add(c, h);
+                b.store(acc, n);
+            });
+            let r = b.load(acc, Type::I64);
+            b.ret(Some(r));
+        }
+        mb.finish_function();
+        mb.build()
+    }
+
+    fn run_main(m: &Module, n: i64) -> (Option<RtVal>, mlcomp_ir::DynCounts) {
+        let fid = m.find_function("main").unwrap();
+        let out = Interpreter::new(m).run(fid, &[RtVal::I(n)]).unwrap();
+        (out.ret, out.counts)
+    }
+
+    #[test]
+    fn all_levels_preserve_behaviour() {
+        let reference = run_main(&workload(), 37).0;
+        for level in PipelineLevel::ALL {
+            let mut m = workload();
+            let pm = PassManager::verifying();
+            pm.run_level(&mut m, level);
+            verify(&m).unwrap();
+            assert_eq!(
+                run_main(&m, 37).0,
+                reference,
+                "{level} changed observable behaviour"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_levels_run_faster() {
+        let mut o0 = workload();
+        let mut o3 = workload();
+        let pm = PassManager::new();
+        pm.run_level(&mut o3, PipelineLevel::O3);
+        let (_, c0) = run_main(&o0, 200);
+        let (_, c3) = run_main(&o3, 200);
+        let _ = &mut o0;
+        assert!(
+            c3.total_instructions() * 3 < c0.total_instructions() * 2,
+            "O3 ({}) should cut instruction count vs O0 ({}) by ≥1.5x",
+            c3.total_instructions(),
+            c0.total_instructions()
+        );
+    }
+
+    #[test]
+    fn oz_reduces_static_size() {
+        let mut m = workload();
+        let before = m.total_insts();
+        PassManager::new().run_level(&mut m, PipelineLevel::Oz);
+        assert!(m.total_insts() < before);
+    }
+
+    #[test]
+    fn unknown_phase_is_an_error() {
+        let mut m = workload();
+        let pm = PassManager::new();
+        let err = pm.run_phase(&mut m, "fuse-everything").unwrap_err();
+        assert_eq!(err, UnknownPhaseError("fuse-everything".into()));
+        assert!(err.to_string().contains("fuse-everything"));
+    }
+
+    #[test]
+    fn random_phase_sequences_preserve_behaviour() {
+        // A light fuzz: fixed pseudo-random phase orders must never change
+        // what the program computes.
+        let reference = run_main(&workload(), 23).0;
+        let names = crate::registry::all_phase_names();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for trial in 0..12 {
+            let mut m = workload();
+            let pm = PassManager::verifying();
+            for _ in 0..10 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let idx = (state >> 33) as usize % names.len();
+                pm.run_phase(&mut m, names[idx]).unwrap();
+            }
+            assert_eq!(
+                run_main(&m, 23).0,
+                reference,
+                "trial {trial} diverged"
+            );
+        }
+    }
+}

@@ -1,0 +1,627 @@
+//! Memory-to-register promotion: `mem2reg` and `sroa`.
+//!
+//! These are the phases that turn `-O0`-style alloca/load/store code into
+//! SSA values, unlocking almost every scalar and loop optimization — the
+//! central phase-ordering dependency the MLComp policy has to learn.
+
+use crate::util::{alloca_escapes, remove_unreachable_blocks};
+use mlcomp_ir::analysis::{Cfg, DomTree};
+use mlcomp_ir::{BlockId, Function, Inst, InstId, InstKind, Module, Type, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Promotes single-cell, non-escaping allocas accessed only via direct
+/// loads and stores into SSA values with phi nodes (the classic
+/// Cytron-style algorithm over dominance frontiers).
+///
+/// Returns `true` if any alloca was promoted.
+pub fn mem2reg(_m: &Module, f: &mut Function) -> bool {
+    remove_unreachable_blocks(f);
+    let candidates = promotable_allocas(f);
+    if candidates.is_empty() {
+        return false;
+    }
+    promote(f, &candidates);
+    true
+}
+
+/// Scalar replacement of aggregates: splits multi-cell allocas whose every
+/// access is a load/store through a constant-offset gep into independent
+/// single-cell allocas, then promotes them like [`mem2reg`].
+pub fn sroa(_m: &Module, f: &mut Function) -> bool {
+    remove_unreachable_blocks(f);
+    let mut changed = false;
+
+    // Find splittable aggregates.
+    let mut split_targets: Vec<(BlockId, InstId, u32)> = Vec::new();
+    for b in f.block_ids().collect::<Vec<_>>() {
+        for &id in &f.block(b).insts.clone() {
+            if let InstKind::Alloca { cells } = f.inst(id).kind {
+                if cells > 1 && cells <= 64 && is_splittable(f, id) {
+                    split_targets.push((b, id, cells));
+                }
+            }
+        }
+    }
+
+    for (ab, alloca, cells) in split_targets {
+        // One fresh single-cell alloca per touched offset.
+        let mut parts: HashMap<i64, InstId> = HashMap::new();
+        for off in touched_offsets(f, alloca) {
+            if off < 0 || off >= cells as i64 {
+                continue;
+            }
+            let part = f.add_inst(Inst::new(InstKind::Alloca { cells: 1 }, Type::Ptr));
+            parts.insert(off, part);
+        }
+        // Place the new allocas right after the original, in offset order
+        // (sorted so rebuilds are deterministic).
+        {
+            let mut ordered: Vec<(i64, InstId)> = parts.iter().map(|(o, p)| (*o, *p)).collect();
+            ordered.sort_unstable_by_key(|(o, _)| *o);
+            let insts = &mut f.block_mut(ab).insts;
+            let pos = insts.iter().position(|&i| i == alloca).unwrap();
+            let mut at = pos + 1;
+            for (_, part) in ordered {
+                insts.insert(at, part);
+                at += 1;
+            }
+        }
+        // Retarget every gep through the aggregate.
+        for b in f.block_ids().collect::<Vec<_>>() {
+            for &id in &f.block(b).insts.clone() {
+                if let InstKind::Gep { base, offset } = f.inst(id).kind {
+                    if base == Value::Inst(alloca) {
+                        let off = offset.as_const_int().unwrap();
+                        if let Some(part) = parts.get(&off) {
+                            f.replace_all_uses(id, Value::Inst(*part));
+                            f.remove_from_block(b, id);
+                        }
+                    }
+                }
+            }
+        }
+        // Direct (offset-0) accesses on the aggregate base itself.
+        if let Some(zero_part) = parts.get(&0).copied() {
+            rewrite_direct_accesses(f, alloca, zero_part);
+        }
+        f.remove_from_block(ab, alloca);
+        changed = true;
+    }
+
+    // sroa finishes with promotion, like LLVM's.
+    let candidates = promotable_allocas(f);
+    if !candidates.is_empty() {
+        promote(f, &candidates);
+        changed = true;
+    }
+    changed
+}
+
+fn rewrite_direct_accesses(f: &mut Function, alloca: InstId, part: InstId) {
+    for b in f.block_ids().collect::<Vec<_>>() {
+        for &id in &f.block(b).insts.clone() {
+            let mut kind = f.inst(id).kind.clone();
+            let mut touched = false;
+            match &mut kind {
+                InstKind::Load { ptr, .. } if *ptr == Value::Inst(alloca) => {
+                    *ptr = Value::Inst(part);
+                    touched = true;
+                }
+                InstKind::Store { ptr, .. } if *ptr == Value::Inst(alloca) => {
+                    *ptr = Value::Inst(part);
+                    touched = true;
+                }
+                _ => {}
+            }
+            if touched {
+                f.inst_mut(id).kind = kind;
+            }
+        }
+    }
+}
+
+fn is_splittable(f: &Function, alloca: InstId) -> bool {
+    if alloca_escapes(f, alloca) {
+        return false;
+    }
+    let av = Value::Inst(alloca);
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            let kind = &f.inst(id).kind;
+            match kind {
+                InstKind::Gep { base, offset } if *base == av => {
+                    if offset.as_const_int().is_none() {
+                        return false;
+                    }
+                    // The gep result must itself only feed loads/stores.
+                    let gv = Value::Inst(id);
+                    for b2 in f.block_ids() {
+                        for &id2 in &f.block(b2).insts {
+                            let k2 = &f.inst(id2).kind;
+                            let mut bad = false;
+                            k2.for_each_operand(|v| {
+                                if v == gv {
+                                    match k2 {
+                                        InstKind::Load { .. } => {}
+                                        InstKind::Store { ptr, value, .. } => {
+                                            if *ptr != gv || *value == gv {
+                                                bad = true;
+                                            }
+                                        }
+                                        _ => bad = true,
+                                    }
+                                }
+                            });
+                            if bad {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                InstKind::Load { ptr, .. } if *ptr == av => {}
+                InstKind::Store { ptr, value, .. } if *ptr == av => {
+                    if *value == av {
+                        return false;
+                    }
+                }
+                InstKind::Memset { ptr, .. } | InstKind::Memcpy { dst: ptr, .. }
+                    if *ptr == av =>
+                {
+                    return false;
+                }
+                InstKind::Memcpy { src, .. } if *src == av => return false,
+                _ => {
+                    let mut uses_it = false;
+                    kind.for_each_operand(|v| {
+                        if v == av {
+                            uses_it = true;
+                        }
+                    });
+                    if uses_it && !matches!(kind, InstKind::Load { .. } | InstKind::Gep { .. }) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+fn touched_offsets(f: &Function, alloca: InstId) -> Vec<i64> {
+    let mut offs: HashSet<i64> = HashSet::new();
+    let av = Value::Inst(alloca);
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            match &f.inst(id).kind {
+                InstKind::Gep { base, offset } if *base == av => {
+                    if let Some(o) = offset.as_const_int() {
+                        offs.insert(o);
+                    }
+                }
+                InstKind::Load { ptr, .. } if *ptr == av => {
+                    offs.insert(0);
+                }
+                InstKind::Store { ptr, .. } if *ptr == av => {
+                    offs.insert(0);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut v: Vec<i64> = offs.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Allocas eligible for promotion: one cell, non-escaping, only loaded and
+/// stored directly (no geps, no intrinsics).
+fn promotable_allocas(f: &Function) -> Vec<InstId> {
+    let mut out = Vec::new();
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            if let InstKind::Alloca { cells: 1 } = f.inst(id).kind {
+                if is_promotable(f, id) {
+                    out.push(id);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_promotable(f: &Function, alloca: InstId) -> bool {
+    let av = Value::Inst(alloca);
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            let kind = &f.inst(id).kind;
+            let mut ok = true;
+            kind.for_each_operand(|v| {
+                if v != av {
+                    return;
+                }
+                match kind {
+                    InstKind::Load { ptr, .. } => ok &= *ptr == av,
+                    InstKind::Store { ptr, value, .. } => ok &= *ptr == av && *value != av,
+                    _ => ok = false,
+                }
+            });
+            if !ok {
+                return false;
+            }
+        }
+        let mut used_by_term = false;
+        f.block(b).term.for_each_operand(|v| {
+            if v == av {
+                used_by_term = true;
+            }
+        });
+        if used_by_term {
+            return false;
+        }
+    }
+    true
+}
+
+/// The value type stored in / loaded from an alloca (needed for phi types).
+fn alloca_value_type(f: &Function, alloca: InstId) -> Type {
+    let av = Value::Inst(alloca);
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            match &f.inst(id).kind {
+                InstKind::Load { ptr, .. } if *ptr == av => return f.inst(id).ty,
+                InstKind::Store { ptr, value, .. } if *ptr == av => {
+                    return f.value_type(*value)
+                }
+                _ => {}
+            }
+        }
+    }
+    Type::I64
+}
+
+fn promote(f: &mut Function, allocas: &[InstId]) {
+    let cfg = Cfg::new(f);
+    let dt = DomTree::new(&cfg);
+    let df = dt.dominance_frontiers(&cfg);
+    let alloca_index: HashMap<InstId, usize> =
+        allocas.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+    let types: Vec<Type> = allocas.iter().map(|a| alloca_value_type(f, *a)).collect();
+
+    // Blocks containing a store per alloca.
+    let mut def_blocks: Vec<HashSet<BlockId>> = vec![HashSet::new(); allocas.len()];
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            if let InstKind::Store { ptr, .. } = &f.inst(id).kind {
+                if let Value::Inst(a) = ptr {
+                    if let Some(&ai) = alloca_index.get(a) {
+                        def_blocks[ai].insert(b);
+                    }
+                }
+            }
+        }
+    }
+
+    // Phi insertion at iterated dominance frontiers.
+    // phi_of[block][alloca] = phi inst id
+    let mut phi_of: HashMap<(BlockId, usize), InstId> = HashMap::new();
+    for (ai, defs) in def_blocks.iter().enumerate() {
+        // Sorted worklists keep phi-creation order (and thus instruction
+        // arena ids) deterministic across runs.
+        let mut seed: Vec<BlockId> = defs.iter().copied().collect();
+        seed.sort_unstable();
+        let mut work: VecDeque<BlockId> = seed.into();
+        let mut has_phi: HashSet<BlockId> = HashSet::new();
+        while let Some(b) = work.pop_front() {
+            let mut frontiers: Vec<BlockId> = df[b.index()].iter().copied().collect();
+            frontiers.sort_unstable();
+            for &frontier in &frontiers {
+                if has_phi.insert(frontier) {
+                    let phi = f.add_inst(Inst::new(
+                        InstKind::Phi {
+                            incomings: Vec::new(),
+                        },
+                        types[ai],
+                    ));
+                    f.block_mut(frontier).insts.insert(0, phi);
+                    phi_of.insert((frontier, ai), phi);
+                    if !def_blocks[ai].contains(&frontier) {
+                        work.push_back(frontier);
+                    }
+                }
+            }
+        }
+    }
+
+    // Renaming pass: DFS over the dominator tree.
+    let children = dt.children();
+    let n_allocas = allocas.len();
+    let mut stacks: Vec<Vec<Value>> = vec![Vec::new(); n_allocas];
+    let mut removals: Vec<(BlockId, InstId)> = Vec::new();
+    let mut replacements: Vec<(InstId, Value)> = Vec::new();
+    let mut phi_incomings: HashMap<InstId, Vec<(BlockId, Value)>> = HashMap::new();
+
+    // Explicit DFS over the dominator tree with enter/exit events so the
+    // value stacks unwind correctly.
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Enter(BlockId),
+        Exit(BlockId),
+    }
+    // Track push counts per block to pop on exit.
+    let mut push_counts: HashMap<BlockId, Vec<usize>> = HashMap::new();
+    let mut dfs: Vec<Ev> = vec![Ev::Enter(BlockId::ENTRY)];
+    while let Some(ev) = dfs.pop() {
+        match ev {
+            Ev::Enter(b) => {
+                let mut pushes = vec![0usize; n_allocas];
+                // Phis at block entry define new values.
+                for &id in &f.block(b).insts.clone() {
+                    if let Some(ai) = phi_owner(&phi_of, b, id, n_allocas) {
+                        stacks[ai].push(Value::Inst(id));
+                        pushes[ai] += 1;
+                    }
+                }
+                for &id in &f.block(b).insts.clone() {
+                    match f.inst(id).kind.clone() {
+                        InstKind::Load { ptr, .. } => {
+                            if let Value::Inst(a) = ptr {
+                                if let Some(&ai) = alloca_index.get(&a) {
+                                    let cur = stacks[ai]
+                                        .last()
+                                        .copied()
+                                        .unwrap_or(Value::Undef(types[ai]));
+                                    replacements.push((id, cur));
+                                    removals.push((b, id));
+                                }
+                            }
+                        }
+                        InstKind::Store { ptr, value, .. } => {
+                            if let Value::Inst(a) = ptr {
+                                if let Some(&ai) = alloca_index.get(&a) {
+                                    stacks[ai].push(value);
+                                    pushes[ai] += 1;
+                                    removals.push((b, id));
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // Record phi incomings for successors (dedup in case a
+                // conditional branch targets the same block twice).
+                let mut succs = f.block(b).term.successors();
+                succs.sort();
+                succs.dedup();
+                for s in succs {
+                    for ai in 0..n_allocas {
+                        if let Some(&phi) = phi_of.get(&(s, ai)) {
+                            let cur = stacks[ai]
+                                .last()
+                                .copied()
+                                .unwrap_or(Value::Undef(types[ai]));
+                            phi_incomings.entry(phi).or_default().push((b, cur));
+                        }
+                    }
+                }
+                push_counts.insert(b, pushes);
+                dfs.push(Ev::Exit(b));
+                for &c in &children[b.index()] {
+                    dfs.push(Ev::Enter(c));
+                }
+            }
+            Ev::Exit(b) => {
+                if let Some(pushes) = push_counts.remove(&b) {
+                    for (ai, n) in pushes.into_iter().enumerate() {
+                        for _ in 0..n {
+                            stacks[ai].pop();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Apply: fill phis, replace loads, drop loads/stores/allocas.
+    for (phi, inc) in phi_incomings {
+        f.inst_mut(phi).kind = InstKind::Phi { incomings: inc };
+    }
+    for (id, v) in replacements {
+        f.replace_all_uses(id, v);
+    }
+    for (b, id) in removals {
+        f.remove_from_block(b, id);
+    }
+    for &a in allocas {
+        // Find and remove the alloca from its block.
+        for b in f.block_ids().collect::<Vec<_>>() {
+            if f.remove_from_block(b, a) {
+                break;
+            }
+        }
+    }
+    // Phis with all-identical incomings (single-pred joins) fold away.
+    crate::util::trivial_dce(&Module::new("tmp"), f, false);
+}
+
+fn phi_owner(
+    phi_of: &HashMap<(BlockId, usize), InstId>,
+    b: BlockId,
+    id: InstId,
+    n: usize,
+) -> Option<usize> {
+    (0..n).find(|ai| phi_of.get(&(b, *ai)) == Some(&id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcomp_ir::{verify, Interpreter, ModuleBuilder, RtVal};
+
+    fn sum_module() -> mlcomp_ir::Module {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("sum", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let acc = b.local(b.const_i64(0));
+            b.for_loop(b.const_i64(0), b.param(0), 1, |b, i| {
+                let c = b.load(acc, Type::I64);
+                let n = b.add(c, i);
+                b.store(acc, n);
+            });
+            let r = b.load(acc, Type::I64);
+            b.ret(Some(r));
+        }
+        mb.finish_function();
+        mb.build()
+    }
+
+    #[test]
+    fn promotes_loop_accumulator() {
+        let mut m = sum_module();
+        let mc = m.clone();
+        let f = &mut m.functions[0];
+        let loads_before = crate::util::all_insts(f)
+            .iter()
+            .filter(|(_, id)| matches!(f.inst(*id).kind, InstKind::Load { .. }))
+            .count();
+        assert!(loads_before >= 2);
+        assert!(mem2reg(&mc, f));
+        verify(&m).expect("valid after mem2reg");
+        let f = &m.functions[0];
+        let loads_after = crate::util::all_insts(f)
+            .iter()
+            .filter(|(_, id)| matches!(f.inst(*id).kind, InstKind::Load { .. }))
+            .count();
+        assert_eq!(loads_after, 0);
+        // Behaviour preserved.
+        let fid = m.find_function("sum").unwrap();
+        let out = Interpreter::new(&m).run(fid, &[RtVal::I(50)]).unwrap();
+        assert_eq!(out.ret, Some(RtVal::I(1225)));
+    }
+
+    #[test]
+    fn leaves_escaping_allocas_alone() {
+        let mut mb = ModuleBuilder::new("t");
+        let sink = mb.declare("sink", vec![Type::Ptr], Type::Void);
+        mb.begin_existing(sink);
+        {
+            let mut b = mb.body();
+            b.store(b.param(0), b.const_i64(9));
+            b.ret(None);
+        }
+        mb.finish_function();
+        mb.begin_function("f", vec![], Type::I64);
+        {
+            let mut b = mb.body();
+            let p = b.alloca(1);
+            b.store(p, b.const_i64(1));
+            b.call(sink, vec![p], Type::Void);
+            let v = b.load(p, Type::I64);
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        let f = &mut m.functions[1];
+        mem2reg(&mc, f);
+        verify(&m).expect("still valid");
+        let fid = m.find_function("f").unwrap();
+        let out = Interpreter::new(&m).run(fid, &[]).unwrap();
+        assert_eq!(out.ret, Some(RtVal::I(9)), "escaped alloca must stay in memory");
+    }
+
+    #[test]
+    fn sroa_splits_struct_like_alloca() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let agg = b.alloca(3);
+            let p0 = b.gep(agg, b.const_i64(0));
+            let p1 = b.gep(agg, b.const_i64(1));
+            let p2 = b.gep(agg, b.const_i64(2));
+            b.store(p0, b.param(0));
+            b.store(p1, b.const_i64(10));
+            b.store(p2, b.const_i64(20));
+            let a = b.load(p0, Type::I64);
+            let c = b.load(p1, Type::I64);
+            let d = b.load(p2, Type::I64);
+            let s1 = b.add(a, c);
+            let s2 = b.add(s1, d);
+            b.ret(Some(s2));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        let f = &mut m.functions[0];
+        assert!(sroa(&mc, f));
+        verify(&m).expect("valid after sroa");
+        let f = &m.functions[0];
+        // Everything promoted: no loads, no allocas left.
+        assert!(!crate::util::all_insts(f).iter().any(|(_, id)| matches!(
+            f.inst(*id).kind,
+            InstKind::Load { .. } | InstKind::Alloca { .. }
+        )));
+        let fid = m.find_function("f").unwrap();
+        let out = Interpreter::new(&m).run(fid, &[RtVal::I(5)]).unwrap();
+        assert_eq!(out.ret, Some(RtVal::I(35)));
+    }
+
+    #[test]
+    fn sroa_skips_variable_index() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let agg = b.alloca(4);
+            let p = b.gep(agg, b.param(0)); // dynamic index
+            b.store(p, b.const_i64(1));
+            let v = b.load(p, Type::I64);
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        let f = &mut m.functions[0];
+        sroa(&mc, f);
+        verify(&m).expect("valid");
+        let f = &m.functions[0];
+        assert!(
+            crate::util::all_insts(f)
+                .iter()
+                .any(|(_, id)| matches!(f.inst(*id).kind, InstKind::Alloca { cells: 4 })),
+            "dynamic-index aggregate must not be split"
+        );
+    }
+
+    #[test]
+    fn promotes_branchy_variable_with_phi() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let x = b.local(b.const_i64(0));
+            let c = b.cmp(mlcomp_ir::CmpPred::Gt, b.param(0), b.const_i64(10));
+            b.if_then(c, |b| {
+                b.store(x, b.const_i64(100));
+            });
+            let v = b.load(x, Type::I64);
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        mem2reg(&mc, &mut m.functions[0]);
+        verify(&m).expect("valid");
+        let fid = m.find_function("f").unwrap();
+        let hi = Interpreter::new(&m).run(fid, &[RtVal::I(20)]).unwrap();
+        assert_eq!(hi.ret, Some(RtVal::I(100)));
+        let lo = Interpreter::new(&m).run(fid, &[RtVal::I(5)]).unwrap();
+        assert_eq!(lo.ret, Some(RtVal::I(0)));
+        // A phi must have been inserted at the join.
+        let f = &m.functions[0];
+        assert!(crate::util::all_insts(f)
+            .iter()
+            .any(|(_, id)| f.inst(*id).kind.is_phi()));
+    }
+}

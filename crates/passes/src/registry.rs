@@ -1,0 +1,183 @@
+//! The phase registry: every optimization phase of the paper's Table VI,
+//! addressable by its LLVM name.
+
+use mlcomp_ir::{Function, Module};
+
+/// Number of phases in the paper's Table VI.
+pub const PHASE_COUNT: usize = 48;
+
+/// The 48 phase names of Table VI, in the paper's (alphabetical) order.
+pub const PHASE_NAMES: [&str; PHASE_COUNT] = [
+    "adce",
+    "aggressive-instcombine",
+    "alignment-from-assumptions",
+    "argpromotion",
+    "bdce",
+    "called-value-propagation",
+    "callsite-splitting",
+    "constmerge",
+    "correlated-propagation",
+    "deadargelim",
+    "div-rem-pairs",
+    "dse",
+    "early-cse",
+    "early-cse-memssa",
+    "elim-avail-extern",
+    "float2int",
+    "globaldce",
+    "globalopt",
+    "globals-aa",
+    "gvn",
+    "indvars",
+    "inline",
+    "instcombine",
+    "instsimplify",
+    "ipsccp",
+    "jump-threading",
+    "licm",
+    "loop-deletion",
+    "loop-distribute",
+    "loop-idiom",
+    "loop-load-elim",
+    "loop-rotate",
+    "loop-sink",
+    "loop-unroll",
+    "loop-unswitch",
+    "loop-vectorize",
+    "lower-expect",
+    "mem2reg",
+    "memcpyopt",
+    "mldst-motion",
+    "prune-eh",
+    "reassociate",
+    "sccp",
+    "simplifycfg",
+    "slp-vectorizer",
+    "speculative-execution",
+    "sroa",
+    "tailcallelim",
+];
+
+/// All implemented phase names (identical to [`PHASE_NAMES`]; exists so
+/// callers can iterate without knowing the array length).
+pub fn all_phase_names() -> &'static [&'static str] {
+    &PHASE_NAMES
+}
+
+/// Runs one phase by name over a module. Returns `Some(changed)` or `None`
+/// for unknown names.
+///
+/// Function phases run over every function body (with a module snapshot
+/// for interprocedural queries like `readnone`); module phases run once.
+pub fn run_phase_on(m: &mut Module, name: &str) -> Option<bool> {
+    let changed = match name {
+        // Module phases.
+        "inline" => crate::ipo::inline(m),
+        "argpromotion" => crate::ipo::argpromotion(m),
+        "deadargelim" => crate::ipo::deadargelim(m),
+        "globaldce" => crate::ipo::globaldce(m),
+        "globalopt" => crate::ipo::globalopt(m),
+        "constmerge" => crate::ipo::constmerge(m),
+        "called-value-propagation" => crate::ipo::called_value_propagation(m),
+        "elim-avail-extern" => crate::ipo::elim_avail_extern(m),
+        "prune-eh" => crate::ipo::prune_eh(m),
+        "globals-aa" => crate::ipo::globals_aa(m),
+        "tailcallelim" => crate::ipo::tailcallelim(m),
+        "ipsccp" => crate::sccp::ipsccp(m),
+        // Function phases.
+        "adce" => run_fn(m, crate::dce::adce),
+        "aggressive-instcombine" => run_fn(m, crate::scalar::aggressive_instcombine),
+        "alignment-from-assumptions" => run_fn(m, crate::scalar::alignment_from_assumptions),
+        "bdce" => run_fn(m, crate::scalar::bdce),
+        "callsite-splitting" => run_fn(m, crate::cfgopt::callsite_splitting),
+        "correlated-propagation" => run_fn(m, crate::sccp::correlated_propagation),
+        "div-rem-pairs" => run_fn(m, crate::scalar::div_rem_pairs),
+        "dse" => run_fn(m, crate::dce::dse),
+        "early-cse" => run_fn(m, crate::cse::early_cse),
+        "early-cse-memssa" => run_fn(m, crate::cse::early_cse_memssa),
+        "float2int" => run_fn(m, crate::scalar::float2int),
+        "gvn" => run_fn(m, crate::cse::gvn),
+        "indvars" => run_fn(m, crate::loops::indvars),
+        "instcombine" => run_fn(m, crate::scalar::instcombine),
+        "instsimplify" => run_fn(m, crate::scalar::instsimplify),
+        "jump-threading" => run_fn(m, crate::cfgopt::jump_threading),
+        "licm" => run_fn(m, crate::loops::licm),
+        "loop-deletion" => run_fn(m, crate::loops::loop_deletion),
+        "loop-distribute" => run_fn(m, crate::loops::loop_distribute),
+        "loop-idiom" => run_fn(m, crate::loops::loop_idiom),
+        "loop-load-elim" => run_fn(m, crate::loops::loop_load_elim),
+        "loop-rotate" => run_fn(m, crate::loops::loop_rotate),
+        "loop-sink" => run_fn(m, crate::loops::loop_sink),
+        "loop-unroll" => run_fn(m, crate::loops::loop_unroll),
+        "loop-unswitch" => run_fn(m, crate::loops::loop_unswitch),
+        "loop-vectorize" => run_fn(m, crate::vector::loop_vectorize),
+        "lower-expect" => run_fn(m, crate::scalar::lower_expect),
+        "mem2reg" => run_fn(m, crate::memory::mem2reg),
+        "memcpyopt" => run_fn(m, crate::motion::memcpyopt),
+        "mldst-motion" => run_fn(m, crate::motion::mldst_motion),
+        "reassociate" => run_fn(m, crate::scalar::reassociate),
+        "sccp" => run_fn(m, crate::sccp::sccp),
+        "simplifycfg" => run_fn(m, crate::cfgopt::simplifycfg),
+        "slp-vectorizer" => run_fn(m, crate::vector::slp_vectorizer),
+        "speculative-execution" => run_fn(m, crate::motion::speculative_execution),
+        "sroa" => run_fn(m, crate::memory::sroa),
+        _ => return None,
+    };
+    Some(changed)
+}
+
+fn run_fn(m: &mut Module, pass: fn(&Module, &mut Function) -> bool) -> bool {
+    let mut changed = false;
+    let snapshot = m.clone();
+    for f in m.functions.iter_mut() {
+        if !f.is_declaration {
+            changed |= pass(&snapshot, f);
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcomp_ir::{verify, ModuleBuilder, Type};
+
+    #[test]
+    fn exactly_48_phases() {
+        assert_eq!(PHASE_NAMES.len(), PHASE_COUNT);
+        let mut sorted = PHASE_NAMES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), PHASE_COUNT, "no duplicate names");
+    }
+
+    #[test]
+    fn every_phase_runs_on_a_nontrivial_module() {
+        for name in PHASE_NAMES {
+            let mut mb = ModuleBuilder::new("t");
+            mb.begin_function("f", vec![Type::I64], Type::I64);
+            {
+                let mut b = mb.body();
+                let acc = b.local(b.const_i64(0));
+                b.for_loop(b.const_i64(0), b.param(0), 1, |b, i| {
+                    let c = b.load(acc, Type::I64);
+                    let n = b.add(c, i);
+                    b.store(acc, n);
+                });
+                let r = b.load(acc, Type::I64);
+                b.ret(Some(r));
+            }
+            mb.finish_function();
+            let mut m = mb.build();
+            let result = run_phase_on(&mut m, name);
+            assert!(result.is_some(), "phase `{name}` must be registered");
+            verify(&m).unwrap_or_else(|e| panic!("phase `{name}` broke the IR: {e}"));
+        }
+    }
+
+    #[test]
+    fn unknown_phase_is_none() {
+        let mut m = mlcomp_ir::Module::new("t");
+        assert_eq!(run_phase_on(&mut m, "no-such-phase"), None);
+    }
+}

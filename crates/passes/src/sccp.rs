@@ -1,0 +1,722 @@
+//! Constant propagation phases: `sccp`, `ipsccp` and
+//! `correlated-propagation`.
+
+use crate::util::{fold_constant, remove_unreachable_blocks, trivial_dce};
+use mlcomp_ir::analysis::{CallGraph, Cfg, DomTree};
+use mlcomp_ir::{
+    BlockId, Callee, CmpPred, FuncId, Function, InstId, InstKind, Module, Terminator, Value,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The SCCP lattice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Lattice {
+    /// Not yet known (⊤).
+    Unknown,
+    /// Proven constant.
+    Const(Value),
+    /// Proven non-constant (⊥).
+    Over,
+}
+
+impl Lattice {
+    fn meet(self, other: Lattice) -> Lattice {
+        match (self, other) {
+            (Lattice::Unknown, x) | (x, Lattice::Unknown) => x,
+            (Lattice::Const(a), Lattice::Const(b)) if a == b => Lattice::Const(a),
+            _ => Lattice::Over,
+        }
+    }
+}
+
+/// Sparse conditional constant propagation (intraprocedural): propagates
+/// constants through phis along provably executable edges only, then folds
+/// constant branches and deletes never-executed blocks.
+pub fn sccp(m: &Module, f: &mut Function) -> bool {
+    remove_unreachable_blocks(f);
+    let solution = solve(f, &HashMap::new());
+    apply_solution(m, f, &solution)
+}
+
+/// Interprocedural SCCP: when every direct call site of an internal
+/// function passes the same constant for a parameter, that constant is
+/// propagated into the callee; constant return values are propagated back
+/// to call sites.
+pub fn ipsccp(m: &mut Module) -> bool {
+    let mut changed = false;
+    let cg = CallGraph::new(m);
+
+    // Collect per-function parameter lattices from call sites.
+    let n = m.functions.len();
+    let mut param_consts: Vec<Vec<Lattice>> = m
+        .functions
+        .iter()
+        .map(|f| vec![Lattice::Unknown; f.params.len()])
+        .collect();
+    for fid in m.function_ids() {
+        let f = m.function(fid);
+        for b in f.block_ids() {
+            for &id in &f.block(b).insts {
+                if let InstKind::Call {
+                    callee: Callee::Direct(c),
+                    args,
+                } = &f.inst(id).kind
+                {
+                    for (i, a) in args.iter().enumerate() {
+                        let l = if a.is_const() {
+                            Lattice::Const(*a)
+                        } else {
+                            Lattice::Over
+                        };
+                        param_consts[c.index()][i] = param_consts[c.index()][i].meet(l);
+                    }
+                }
+            }
+        }
+    }
+
+    // Substitute proven-constant params inside internal, non-address-taken
+    // functions that have at least one caller.
+    for fi in 0..n {
+        let fid = FuncId(fi as u32);
+        if !m.functions[fi].internal
+            || cg.address_taken.contains(&fid)
+            || cg.call_site_count(fid) == 0
+        {
+            continue;
+        }
+        let consts: Vec<(u32, Value)> = param_consts[fi]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| match l {
+                Lattice::Const(v) => Some((i as u32, *v)),
+                _ => None,
+            })
+            .collect();
+        if consts.is_empty() {
+            continue;
+        }
+        let f = &mut m.functions[fi];
+        let mut local = false;
+        for b in f.block_ids().collect::<Vec<_>>() {
+            for &id in &f.block(b).insts.clone() {
+                f.inst_mut(id).kind.map_operands(|v| {
+                    if let Value::Param(i) = v {
+                        if let Some((_, c)) = consts.iter().find(|(pi, _)| *pi == i) {
+                            local = true;
+                            return *c;
+                        }
+                    }
+                    v
+                });
+            }
+            let mut term = f.block(b).term.clone();
+            term.map_operands(|v| {
+                if let Value::Param(i) = v {
+                    if let Some((_, c)) = consts.iter().find(|(pi, _)| *pi == i) {
+                        local = true;
+                        return *c;
+                    }
+                }
+                v
+            });
+            f.block_mut(b).term = term;
+        }
+        changed |= local;
+    }
+
+    // Per-function SCCP, collecting constant returns.
+    let mut const_returns: Vec<Option<Value>> = vec![None; n];
+    for fi in 0..n {
+        if m.functions[fi].is_declaration {
+            continue;
+        }
+        let mut f = std::mem::replace(&mut m.functions[fi], Function::new("tmp", vec![], mlcomp_ir::Type::Void));
+        remove_unreachable_blocks(&mut f);
+        let solution = solve(&f, &HashMap::new());
+        changed |= apply_solution(m, &mut f, &solution);
+        // Constant return detection.
+        let mut ret: Lattice = Lattice::Unknown;
+        for b in f.block_ids() {
+            if let Terminator::Ret(Some(v)) = &f.block(b).term {
+                let l = if v.is_const() {
+                    Lattice::Const(*v)
+                } else {
+                    Lattice::Over
+                };
+                ret = ret.meet(l);
+            }
+        }
+        if let Lattice::Const(v) = ret {
+            const_returns[fi] = Some(v);
+        }
+        m.functions[fi] = f;
+    }
+
+    // Replace call results with constant returns (call stays for effects;
+    // DCE will drop it if the callee is readnone).
+    for fi in 0..n {
+        let mut f = std::mem::replace(&mut m.functions[fi], Function::new("tmp", vec![], mlcomp_ir::Type::Void));
+        for b in f.block_ids().collect::<Vec<_>>() {
+            for &id in &f.block(b).insts.clone() {
+                if let InstKind::Call {
+                    callee: Callee::Direct(c),
+                    ..
+                } = &f.inst(id).kind
+                {
+                    if let Some(v) = const_returns[c.index()] {
+                        if f.inst(id).ty == f.value_type(v) {
+                            f.replace_all_uses(id, v);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        m.functions[fi] = f;
+    }
+
+    if changed {
+        let snapshot = m.clone();
+        for f in m.functions.iter_mut() {
+            if !f.is_declaration {
+                trivial_dce(&snapshot, f, false);
+            }
+        }
+    }
+    changed
+}
+
+fn solve(f: &Function, param_over: &HashMap<u32, Value>) -> HashMap<InstId, Value> {
+    let cfg = Cfg::new(f);
+    let nblocks = f.blocks.len();
+    let mut lattice: HashMap<InstId, Lattice> = HashMap::new();
+    let mut exec_block = vec![false; nblocks];
+    let mut exec_edge: HashSet<(BlockId, BlockId)> = HashSet::new();
+    let mut work: VecDeque<BlockId> = VecDeque::new();
+
+    let value_lattice = |v: Value, lattice: &HashMap<InstId, Lattice>| -> Lattice {
+        match v {
+            Value::Inst(id) => lattice.get(&id).copied().unwrap_or(Lattice::Unknown),
+            Value::Param(i) => match param_over.get(&i) {
+                Some(c) => Lattice::Const(*c),
+                None => Lattice::Over,
+            },
+            Value::Undef(_) => Lattice::Over,
+            c => Lattice::Const(c),
+        }
+    };
+
+    exec_block[BlockId::ENTRY.index()] = true;
+    work.push_back(BlockId::ENTRY);
+
+    // Fixpoint iteration: process the worklist, then — because lattice
+    // changes must reach *users* (not just CFG successors) — re-seed the
+    // worklist with every executable block until nothing changes. This is
+    // less efficient than SSA-edge-driven SCCP but cannot miss updates.
+    let mut rounds = 0usize;
+    let mut global_change = true;
+    while global_change {
+        rounds += 1;
+        // Each round performs at least one lattice lowering and every
+        // instruction can lower at most twice, so this bound is never hit;
+        // it only guards against bugs, and on trigger we discard the
+        // solution entirely (a stale partial solution would be unsound).
+        if rounds > 4 * f.insts.len() + 64 {
+            return HashMap::new();
+        }
+        global_change = false;
+        if work.is_empty() {
+            for (i, &exec) in exec_block.iter().enumerate() {
+                if exec {
+                    work.push_back(BlockId(i as u32));
+                }
+            }
+        }
+
+    while let Some(b) = work.pop_front() {
+        let blk = f.block(b);
+        let mut any_change = false;
+        for &id in &blk.insts {
+            let inst = f.inst(id);
+            let old = lattice.get(&id).copied().unwrap_or(Lattice::Unknown);
+            if old == Lattice::Over {
+                continue;
+            }
+            let new = match &inst.kind {
+                InstKind::Phi { incomings } => {
+                    let mut l = Lattice::Unknown;
+                    for (p, v) in incomings {
+                        if exec_edge.contains(&(*p, b)) {
+                            l = l.meet(value_lattice(*v, &lattice));
+                        }
+                    }
+                    l
+                }
+                k if k.is_pure() || matches!(k, InstKind::Bin { .. }) => {
+                    // Gather operand lattices; fold when all constant.
+                    let mut any_unknown = false;
+                    let mut any_over = false;
+                    k.for_each_operand(|v| match value_lattice(v, &lattice) {
+                        Lattice::Unknown => any_unknown = true,
+                        Lattice::Over => any_over = true,
+                        Lattice::Const(_) => {}
+                    });
+                    if any_over {
+                        Lattice::Over
+                    } else if any_unknown {
+                        Lattice::Unknown
+                    } else {
+                        // Substitute constants and fold.
+                        let mut kind = k.clone();
+                        kind.map_operands(|v| match value_lattice(v, &lattice) {
+                            Lattice::Const(c) => c,
+                            _ => v,
+                        });
+                        match fold_constant(&kind, inst.ty) {
+                            Some(c) => Lattice::Const(c),
+                            None => Lattice::Over,
+                        }
+                    }
+                }
+                _ => Lattice::Over,
+            };
+            let merged = old.meet(new);
+            if merged != old {
+                lattice.insert(id, merged);
+                any_change = true;
+            }
+        }
+
+        // Decide outgoing edges.
+        let mark_edge = |from: BlockId,
+                             to: BlockId,
+                             exec_edge: &mut HashSet<(BlockId, BlockId)>,
+                             exec_block: &mut Vec<bool>,
+                             work: &mut VecDeque<BlockId>| {
+            let newly_edge = exec_edge.insert((from, to));
+            let newly_block = !exec_block[to.index()];
+            if newly_block {
+                exec_block[to.index()] = true;
+            }
+            if newly_edge || newly_block {
+                work.push_back(to);
+            }
+        };
+        match &blk.term {
+            Terminator::Br(t) => mark_edge(b, *t, &mut exec_edge, &mut exec_block, &mut work),
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+                ..
+            } => match value_lattice(*cond, &lattice) {
+                Lattice::Const(c) => {
+                    let t = if c.as_const_int().unwrap_or(0) != 0 {
+                        *then_bb
+                    } else {
+                        *else_bb
+                    };
+                    mark_edge(b, t, &mut exec_edge, &mut exec_block, &mut work);
+                }
+                Lattice::Unknown => {}
+                Lattice::Over => {
+                    mark_edge(b, *then_bb, &mut exec_edge, &mut exec_block, &mut work);
+                    mark_edge(b, *else_bb, &mut exec_edge, &mut exec_block, &mut work);
+                }
+            },
+            Terminator::Switch { val, cases, default } => match value_lattice(*val, &lattice) {
+                Lattice::Const(c) => {
+                    let cv = c.as_const_int().unwrap_or(0);
+                    let t = cases
+                        .iter()
+                        .find(|(k, _)| *k == cv)
+                        .map(|(_, b)| *b)
+                        .unwrap_or(*default);
+                    mark_edge(b, t, &mut exec_edge, &mut exec_block, &mut work);
+                }
+                Lattice::Unknown => {}
+                Lattice::Over => {
+                    for (_, t) in cases {
+                        mark_edge(b, *t, &mut exec_edge, &mut exec_block, &mut work);
+                    }
+                    mark_edge(b, *default, &mut exec_edge, &mut exec_block, &mut work);
+                }
+            },
+            _ => {}
+        }
+        if any_change {
+            global_change = true;
+            // Revisit executable successors so phis see updates quickly.
+            for &s in &cfg.succs[b.index()] {
+                if exec_edge.contains(&(b, s)) {
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+    }
+
+    lattice
+        .into_iter()
+        .filter_map(|(id, l)| match l {
+            Lattice::Const(v) => Some((id, v)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn apply_solution(m: &Module, f: &mut Function, solution: &HashMap<InstId, Value>) -> bool {
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        for &id in &f.block(b).insts.clone() {
+            if let Some(&v) = solution.get(&id) {
+                if f.inst(id).kind.is_pure() || f.inst(id).kind.is_phi() {
+                    f.replace_all_uses(id, v);
+                    f.remove_from_block(b, id);
+                    changed = true;
+                }
+            }
+        }
+        // Fold constant terminators.
+        let term = f.block(b).term.clone();
+        match term {
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+                ..
+            } => {
+                let c = match cond {
+                    Value::Inst(id) => solution.get(&id).and_then(|v| v.as_const_int()),
+                    v => v.as_const_int(),
+                };
+                if let Some(c) = c {
+                    let (taken, dropped) = if c != 0 {
+                        (then_bb, else_bb)
+                    } else {
+                        (else_bb, then_bb)
+                    };
+                    f.block_mut(b).term = Terminator::Br(taken);
+                    if dropped != taken {
+                        f.remove_phi_edges(dropped, b);
+                    }
+                    changed = true;
+                }
+            }
+            Terminator::Switch { val, cases, default } => {
+                let c = match val {
+                    Value::Inst(id) => solution.get(&id).and_then(|v| v.as_const_int()),
+                    v => v.as_const_int(),
+                };
+                if let Some(c) = c {
+                    let taken = cases
+                        .iter()
+                        .find(|(k, _)| *k == c)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(default);
+                    let mut dropped: Vec<BlockId> =
+                        cases.iter().map(|(_, t)| *t).collect();
+                    dropped.push(default);
+                    dropped.sort();
+                    dropped.dedup();
+                    f.block_mut(b).term = Terminator::Br(taken);
+                    for d in dropped {
+                        if d != taken {
+                            f.remove_phi_edges(d, b);
+                        }
+                    }
+                    changed = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    changed |= remove_unreachable_blocks(f);
+    changed |= trivial_dce(m, f, false);
+    changed
+}
+
+/// `correlated-propagation`: inside a branch arm that is only reachable
+/// when `x pred K` holds, the same comparison folds to `true` (and to
+/// `false` on the other arm); for equality tests, `x` itself is replaced
+/// by `K` in the dominated region.
+pub fn correlated_propagation(m: &Module, f: &mut Function) -> bool {
+    remove_unreachable_blocks(f);
+    let cfg = Cfg::new(f);
+    let dt = DomTree::new(&cfg);
+    let mut changed = false;
+
+    let mut edits: Vec<(BlockId, InstId, Value)> = Vec::new();
+    let mut subst: Vec<(Vec<BlockId>, Value, Value)> = Vec::new();
+
+    for b in f.block_ids() {
+        let Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+            ..
+        } = &f.block(b).term
+        else {
+            continue;
+        };
+        let Some(cmp_id) = cond.as_inst() else {
+            continue;
+        };
+        let InstKind::Cmp { pred, lhs, rhs } = f.inst(cmp_id).kind.clone() else {
+            continue;
+        };
+        if then_bb == else_bb {
+            continue;
+        }
+        for (arm, truth) in [(*then_bb, true), (*else_bb, false)] {
+            // The arm must be entered only through this edge.
+            if cfg.preds[arm.index()] != vec![b] {
+                continue;
+            }
+            // Region: blocks dominated by the arm.
+            let region: Vec<BlockId> = f
+                .block_ids()
+                .filter(|&x| dt.dominates(arm, x))
+                .collect();
+            // Fold the controlling compare in the region.
+            for &rb in &region {
+                for &id in &f.block(rb).insts {
+                    if id == cmp_id {
+                        continue;
+                    }
+                    if let InstKind::Cmp {
+                        pred: p2,
+                        lhs: l2,
+                        rhs: r2,
+                    } = &f.inst(id).kind
+                    {
+                        if *l2 == lhs && *r2 == rhs {
+                            if *p2 == pred {
+                                edits.push((rb, id, Value::bool(truth)));
+                            } else if *p2 == pred.negated() {
+                                edits.push((rb, id, Value::bool(!truth)));
+                            }
+                        }
+                    }
+                }
+            }
+            // Equality: substitute the variable with the constant.
+            let eq_sub = (pred == CmpPred::Eq && truth) || (pred == CmpPred::Ne && !truth);
+            if eq_sub && rhs.is_const() && !lhs.is_const() {
+                subst.push((region.clone(), lhs, rhs));
+            }
+        }
+    }
+
+    for (b, id, v) in edits {
+        f.replace_all_uses(id, v);
+        f.remove_from_block(b, id);
+        changed = true;
+    }
+    for (region, from, to) in subst {
+        for b in region {
+            for &id in &f.block(b).insts.clone() {
+                // Do not rewrite inside phis: incoming values relate to
+                // predecessor edges that may lie outside the region.
+                if f.inst(id).kind.is_phi() {
+                    continue;
+                }
+                let mut local = false;
+                f.inst_mut(id).kind.map_operands(|v| {
+                    if v == from {
+                        local = true;
+                        to
+                    } else {
+                        v
+                    }
+                });
+                changed |= local;
+            }
+            let mut term = f.block(b).term.clone();
+            let mut local = false;
+            term.map_operands(|v| {
+                if v == from {
+                    local = true;
+                    to
+                } else {
+                    v
+                }
+            });
+            if local {
+                f.block_mut(b).term = term;
+                changed = true;
+            }
+        }
+    }
+    changed | trivial_dce(m, f, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcomp_ir::{verify, Interpreter, ModuleBuilder, RtVal, Type};
+
+    fn exec(m: &Module, name: &str, args: &[RtVal]) -> Option<RtVal> {
+        let fid = m.find_function(name).unwrap();
+        Interpreter::new(m).run(fid, args).unwrap().ret
+    }
+
+    #[test]
+    fn sccp_folds_constant_branch() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![], Type::I64);
+        {
+            let mut b = mb.body();
+            let c = b.cmp(CmpPred::Lt, b.const_i64(1), b.const_i64(2));
+            let v = b.if_else(c, Type::I64, |b| b.const_i64(10), |b| b.const_i64(20));
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(sccp(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert!(m.functions[0].live_block_count() <= 3); // else arm removed
+        assert_eq!(exec(&m, "f", &[]), Some(RtVal::I(10)));
+    }
+
+    #[test]
+    fn sccp_propagates_through_phi() {
+        // Both arms feed the same constant → phi is constant.
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let c = b.cmp(CmpPred::Gt, b.param(0), b.const_i64(0));
+            let v = b.if_else(c, Type::I64, |b| b.const_i64(7), |b| b.const_i64(7));
+            let w = b.add(v, b.const_i64(1));
+            b.ret(Some(w));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(sccp(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[RtVal::I(5)]), Some(RtVal::I(8)));
+        assert_eq!(exec(&m, "f", &[RtVal::I(-5)]), Some(RtVal::I(8)));
+        // The add must have been folded to the constant 8.
+        let f = &m.functions[0];
+        let has_add = crate::util::all_insts(f)
+            .iter()
+            .any(|(_, id)| matches!(f.inst(*id).kind, InstKind::Bin { .. }));
+        assert!(!has_add);
+    }
+
+    #[test]
+    fn sccp_kills_dead_loop() {
+        // while(false) body — the whole loop must fold away.
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![], Type::I64);
+        {
+            let mut b = mb.body();
+            let acc = b.local(b.const_i64(5));
+            b.for_loop(b.const_i64(10), b.const_i64(3), 1, |b, _i| {
+                b.store(acc, b.const_i64(999));
+            });
+            let r = b.load(acc, Type::I64);
+            b.ret(Some(r));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(sccp(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[]), Some(RtVal::I(5)));
+        assert!(m.functions[0].live_block_count() <= 3);
+    }
+
+    #[test]
+    fn ipsccp_propagates_constant_args() {
+        let mut mb = ModuleBuilder::new("t");
+        let helper = mb.declare("helper", vec![Type::I64], Type::I64);
+        mb.begin_existing(helper);
+        {
+            let mut b = mb.body();
+            let v = b.mul(b.param(0), b.const_i64(3));
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        mb.set_internal(helper);
+        mb.begin_function("main", vec![], Type::I64);
+        {
+            let mut b = mb.body();
+            let a = b.call(helper, vec![b.const_i64(7)], Type::I64);
+            let c = b.call(helper, vec![b.const_i64(7)], Type::I64);
+            let s = b.add(a, c);
+            b.ret(Some(s));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        assert!(ipsccp(&mut m));
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "main", &[]), Some(RtVal::I(42)));
+        // helper's body must have been folded to ret 21.
+        let h = &m.functions[helper.index()];
+        assert_eq!(h.live_inst_count(), 0);
+    }
+
+    #[test]
+    fn correlated_folds_redundant_compare() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let c1 = b.cmp(CmpPred::Gt, b.param(0), b.const_i64(10));
+            let v = b.if_else(
+                c1,
+                Type::I64,
+                |b| {
+                    // Redundant: we already know param > 10 here.
+                    let c2 = b.cmp(CmpPred::Gt, b.param(0), b.const_i64(10));
+                    b.select(c2, b.const_i64(1), b.const_i64(2))
+                },
+                |b| b.const_i64(3),
+            );
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(correlated_propagation(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[RtVal::I(11)]), Some(RtVal::I(1)));
+        assert_eq!(exec(&m, "f", &[RtVal::I(9)]), Some(RtVal::I(3)));
+        // Only the controlling compare remains.
+        let f = &m.functions[0];
+        let cmps = crate::util::all_insts(f)
+            .iter()
+            .filter(|(_, id)| matches!(f.inst(*id).kind, InstKind::Cmp { .. }))
+            .count();
+        assert_eq!(cmps, 1);
+    }
+
+    #[test]
+    fn correlated_substitutes_equal_constant() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let c = b.cmp(CmpPred::Eq, b.param(0), b.const_i64(4));
+            let v = b.if_else(
+                c,
+                Type::I64,
+                |b| b.mul(b.param(0), b.param(0)), // param == 4 here
+                |b| b.const_i64(0),
+            );
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mc = m.clone();
+        assert!(correlated_propagation(&mc, &mut m.functions[0]));
+        verify(&m).unwrap();
+        assert_eq!(exec(&m, "f", &[RtVal::I(4)]), Some(RtVal::I(16)));
+        assert_eq!(exec(&m, "f", &[RtVal::I(5)]), Some(RtVal::I(0)));
+    }
+}

@@ -1,0 +1,875 @@
+//! Shared machinery used by many phases: constant folding, algebraic
+//! simplification, trivial dead-code elimination, CFG cleanup, alias
+//! queries and region cloning.
+
+use mlcomp_ir::analysis::{Cfg, DefUse};
+use mlcomp_ir::{
+    BasicBlock, BinOp, BlockId, Callee, CastOp, Function, Inst, InstId, InstKind, Module,
+    Terminator, Type, UnOp, Value,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Folds an operation whose operands are all constants into a constant
+/// value. Returns `None` when not fully constant or when folding would
+/// change trap behaviour (division by zero is preserved).
+pub fn fold_constant(kind: &InstKind, ty: Type) -> Option<Value> {
+    match kind {
+        InstKind::Bin { op, lhs, rhs, .. } => {
+            if op.is_float() {
+                let a = lhs.as_const_f64()?;
+                let b = rhs.as_const_f64()?;
+                let r = match op {
+                    BinOp::FAdd => a + b,
+                    BinOp::FSub => a - b,
+                    BinOp::FMul => a * b,
+                    BinOp::FDiv => a / b,
+                    BinOp::FRem => a % b,
+                    _ => unreachable!(),
+                };
+                let r = if ty == Type::F32 { r as f32 as f64 } else { r };
+                Some(Value::ConstFloat(r.to_bits(), ty))
+            } else {
+                let a = lhs.as_const_int()?;
+                let b = rhs.as_const_int()?;
+                let r = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::SDiv => {
+                        if b == 0 {
+                            return None;
+                        }
+                        a.wrapping_div(b)
+                    }
+                    BinOp::UDiv => {
+                        if b == 0 {
+                            return None;
+                        }
+                        ((a as u64) / (b as u64)) as i64
+                    }
+                    BinOp::SRem => {
+                        if b == 0 {
+                            return None;
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    BinOp::URem => {
+                        if b == 0 {
+                            return None;
+                        }
+                        ((a as u64) % (b as u64)) as i64
+                    }
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+                    BinOp::AShr => a.wrapping_shr(b as u32 & 63),
+                    BinOp::LShr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+                    _ => unreachable!(),
+                };
+                Some(Value::ConstInt(truncate_int(r, ty), ty))
+            }
+        }
+        InstKind::Un { op, val } => match op {
+            UnOp::Neg => Some(Value::ConstInt(
+                truncate_int(val.as_const_int()?.wrapping_neg(), ty),
+                ty,
+            )),
+            UnOp::Not => Some(Value::ConstInt(truncate_int(!val.as_const_int()?, ty), ty)),
+            UnOp::FNeg => Some(float_const(-val.as_const_f64()?, ty)),
+            UnOp::FAbs => Some(float_const(val.as_const_f64()?.abs(), ty)),
+            UnOp::Sqrt => Some(float_const(val.as_const_f64()?.sqrt(), ty)),
+            UnOp::Exp => Some(float_const(val.as_const_f64()?.exp(), ty)),
+            UnOp::Log => Some(float_const(val.as_const_f64()?.ln(), ty)),
+            UnOp::Sin => Some(float_const(val.as_const_f64()?.sin(), ty)),
+            UnOp::Cos => Some(float_const(val.as_const_f64()?.cos(), ty)),
+        },
+        InstKind::Cmp { pred, lhs, rhs } => {
+            if let (Some(a), Some(b)) = (lhs.as_const_int(), rhs.as_const_int()) {
+                Some(Value::bool(pred.eval_int(a, b)))
+            } else if let (Some(a), Some(b)) = (lhs.as_const_f64(), rhs.as_const_f64()) {
+                Some(Value::bool(pred.eval_float(a, b)))
+            } else {
+                None
+            }
+        }
+        InstKind::Select {
+            cond,
+            then_val,
+            else_val,
+        } => match cond.as_const_int() {
+            Some(0) => Some(*else_val),
+            Some(_) => Some(*then_val),
+            None => None,
+        },
+        InstKind::Cast { op, val } => {
+            let v = *val;
+            match op {
+                CastOp::Trunc => Some(Value::ConstInt(truncate_int(v.as_const_int()?, ty), ty)),
+                CastOp::Sext => Some(Value::ConstInt(v.as_const_int()?, ty)),
+                CastOp::Zext => {
+                    let src_ty = v.ty_of_const()?;
+                    let x = v.as_const_int()?;
+                    let ux = match src_ty {
+                        Type::I1 => x & 1,
+                        Type::I32 => x & 0xFFFF_FFFF,
+                        _ => x,
+                    };
+                    Some(Value::ConstInt(ux, ty))
+                }
+                CastOp::FpToSi => Some(Value::ConstInt(
+                    truncate_int(v.as_const_f64()? as i64, ty),
+                    ty,
+                )),
+                CastOp::SiToFp => Some(float_const(v.as_const_int()? as f64, ty)),
+                CastOp::FpTrunc => Some(float_const(v.as_const_f64()? as f32 as f64, ty)),
+                CastOp::FpExt => Some(float_const(v.as_const_f64()?, ty)),
+                CastOp::Bitcast => match v {
+                    Value::ConstInt(x, _) if ty.is_float() => Some(Value::ConstFloat(x as u64, ty)),
+                    Value::ConstInt(x, _) => Some(Value::ConstInt(x, ty)),
+                    Value::ConstFloat(bits, _) if ty.is_int() => {
+                        Some(Value::ConstInt(bits as i64, ty))
+                    }
+                    _ => None,
+                },
+            }
+        }
+        InstKind::Expect { val, .. } if val.is_const() => Some(*val),
+        _ => None,
+    }
+}
+
+fn float_const(v: f64, ty: Type) -> Value {
+    let v = if ty == Type::F32 { v as f32 as f64 } else { v };
+    Value::ConstFloat(v.to_bits(), ty)
+}
+
+fn truncate_int(v: i64, ty: Type) -> i64 {
+    match ty {
+        Type::I1 => v & 1,
+        Type::I32 => v as i32 as i64,
+        _ => v,
+    }
+}
+
+/// Algebraic simplifications that return an *existing* value (never create
+/// instructions): `x+0 → x`, `x*1 → x`, `x*0 → 0`, `x-x → 0`, `x&x → x`,
+/// `x^x → 0`, `select c,v,v → v`, etc. Includes full constant folding.
+pub fn simplify_inst(f: &Function, kind: &InstKind, ty: Type) -> Option<Value> {
+    if let Some(c) = fold_constant(kind, ty) {
+        return Some(c);
+    }
+    match kind {
+        InstKind::Bin { op, lhs, rhs, .. } => {
+            let (l, r) = (*lhs, *rhs);
+            match op {
+                BinOp::Add => {
+                    if r.is_zero_int() {
+                        return Some(l);
+                    }
+                    if l.is_zero_int() {
+                        return Some(r);
+                    }
+                }
+                BinOp::Sub => {
+                    if r.is_zero_int() {
+                        return Some(l);
+                    }
+                    if l == r {
+                        return Some(Value::ConstInt(0, ty));
+                    }
+                }
+                BinOp::Mul => {
+                    if r.is_one_int() {
+                        return Some(l);
+                    }
+                    if l.is_one_int() {
+                        return Some(r);
+                    }
+                    if r.is_zero_int() || l.is_zero_int() {
+                        return Some(Value::ConstInt(0, ty));
+                    }
+                }
+                BinOp::SDiv | BinOp::UDiv => {
+                    if r.is_one_int() {
+                        return Some(l);
+                    }
+                }
+                BinOp::SRem | BinOp::URem => {
+                    if r.is_one_int() {
+                        return Some(Value::ConstInt(0, ty));
+                    }
+                }
+                BinOp::And => {
+                    if l == r {
+                        return Some(l);
+                    }
+                    if l.is_zero_int() || r.is_zero_int() {
+                        return Some(Value::ConstInt(0, ty));
+                    }
+                    if r == Value::ConstInt(-1, ty) {
+                        return Some(l);
+                    }
+                    if l == Value::ConstInt(-1, ty) {
+                        return Some(r);
+                    }
+                }
+                BinOp::Or => {
+                    if l == r {
+                        return Some(l);
+                    }
+                    if r.is_zero_int() {
+                        return Some(l);
+                    }
+                    if l.is_zero_int() {
+                        return Some(r);
+                    }
+                }
+                BinOp::Xor => {
+                    if l == r {
+                        return Some(Value::ConstInt(0, ty));
+                    }
+                    if r.is_zero_int() {
+                        return Some(l);
+                    }
+                    if l.is_zero_int() {
+                        return Some(r);
+                    }
+                }
+                BinOp::Shl | BinOp::AShr | BinOp::LShr => {
+                    if r.is_zero_int() {
+                        return Some(l);
+                    }
+                    if l.is_zero_int() {
+                        return Some(Value::ConstInt(0, ty));
+                    }
+                }
+                BinOp::FAdd | BinOp::FSub => {
+                    // `x + 0.0` is only an identity when x is not -0.0; we
+                    // accept the usual fast-math-free LLVM rule: x + (-0.0)
+                    // and x - 0.0 are identities.
+                    if *op == BinOp::FSub && r == Value::f64(0.0) && ty == Type::F64 {
+                        return Some(l);
+                    }
+                }
+                BinOp::FMul | BinOp::FDiv | BinOp::FRem => {
+                    if *op == BinOp::FMul && r == Value::f64(1.0) && ty == Type::F64 {
+                        return Some(l);
+                    }
+                    if *op == BinOp::FDiv && r == Value::f64(1.0) && ty == Type::F64 {
+                        return Some(l);
+                    }
+                }
+            }
+            None
+        }
+        InstKind::Cmp { pred, lhs, rhs } => {
+            if lhs == rhs && !f.value_type(*lhs).is_float() {
+                use mlcomp_ir::CmpPred::*;
+                return Some(Value::bool(matches!(pred, Eq | Le | Ge)));
+            }
+            None
+        }
+        InstKind::Select {
+            then_val, else_val, ..
+        } => {
+            if then_val == else_val {
+                return Some(*then_val);
+            }
+            None
+        }
+        InstKind::Gep { base, offset } => {
+            if offset.is_zero_int() {
+                return Some(*base);
+            }
+            None
+        }
+        InstKind::Phi { incomings } => {
+            // Phi whose incomings are all the same value folds to it.
+            let mut unique: Option<Value> = None;
+            for (_, v) in incomings {
+                if unique.is_none() {
+                    unique = Some(*v);
+                } else if unique != Some(*v) {
+                    return None;
+                }
+            }
+            unique
+        }
+        InstKind::Expect { val, .. } => {
+            if val.is_const() {
+                return Some(*val);
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Removes instructions that are pure (or unused loads when
+/// `remove_loads`), have no uses, and are not phis-with-uses. Iterates to a
+/// fixed point. Returns `true` if anything was removed.
+pub fn trivial_dce(m: &Module, f: &mut Function, remove_loads: bool) -> bool {
+    let mut changed = false;
+    loop {
+        let du = DefUse::new(f);
+        let mut removed_any = false;
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let ids = f.block(b).insts.clone();
+            for id in ids {
+                if !du.is_unused(id) {
+                    continue;
+                }
+                let kind = &f.inst(id).kind;
+                let removable = kind.is_pure()
+                    || kind.is_phi()
+                    || matches!(kind, InstKind::Alloca { .. })
+                    || (remove_loads && matches!(kind, InstKind::Load { .. }))
+                    || is_removable_call(m, kind);
+                if removable {
+                    f.remove_from_block(b, id);
+                    removed_any = true;
+                    changed = true;
+                }
+            }
+        }
+        if !removed_any {
+            return changed;
+        }
+    }
+}
+
+/// Whether an unused call can be deleted: direct call to a `readnone`
+/// function (inferred by the `prune-eh` substitute).
+pub fn is_removable_call(m: &Module, kind: &InstKind) -> bool {
+    match kind {
+        InstKind::Call {
+            callee: Callee::Direct(c),
+            ..
+        } => m
+            .functions
+            .get(c.index())
+            .map(|cf| cf.attrs.readnone)
+            .unwrap_or(false),
+        _ => false,
+    }
+}
+
+/// Deletes blocks unreachable from the entry, fixing phis in surviving
+/// blocks. Returns `true` if anything was deleted.
+pub fn remove_unreachable_blocks(f: &mut Function) -> bool {
+    let cfg = Cfg::new(f);
+    let dead: Vec<BlockId> = f
+        .block_ids()
+        .filter(|b| !cfg.reachable[b.index()])
+        .collect();
+    if dead.is_empty() {
+        return false;
+    }
+    // Remove phi edges from dead preds in surviving blocks.
+    let live: Vec<BlockId> = f
+        .block_ids()
+        .filter(|b| cfg.reachable[b.index()])
+        .collect();
+    for &b in &live {
+        for &d in &dead {
+            f.remove_phi_edges(b, d);
+        }
+    }
+    for d in dead {
+        f.delete_block(d);
+    }
+    true
+}
+
+/// The allocation a pointer value is derived from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemRoot {
+    /// A specific alloca instruction.
+    Alloca(InstId),
+    /// A specific global.
+    Global(mlcomp_ir::GlobalId),
+    /// Unknown provenance (loaded pointer, parameter, arithmetic).
+    Unknown,
+}
+
+/// Walks gep chains to the root object of a pointer value.
+pub fn mem_root(f: &Function, mut ptr: Value) -> MemRoot {
+    loop {
+        match ptr {
+            Value::Global(g) => return MemRoot::Global(g),
+            Value::Inst(id) => match &f.inst(id).kind {
+                InstKind::Alloca { .. } => return MemRoot::Alloca(id),
+                InstKind::Gep { base, .. } => ptr = *base,
+                _ => return MemRoot::Unknown,
+            },
+            _ => return MemRoot::Unknown,
+        }
+    }
+}
+
+/// May two pointers alias? Distinct allocas never alias; an alloca never
+/// aliases a global; distinct globals never alias. Anything involving
+/// [`MemRoot::Unknown`] may alias everything.
+pub fn may_alias(a: MemRoot, b: MemRoot) -> bool {
+    match (a, b) {
+        (MemRoot::Unknown, _) | (_, MemRoot::Unknown) => true,
+        (x, y) => x == y,
+    }
+}
+
+/// Whether an alloca's address escapes: it is stored as a *value*, passed
+/// to a call, returned, or used by pointer arithmetic whose result escapes.
+/// Non-escaping allocas can be reasoned about precisely.
+pub fn alloca_escapes(f: &Function, alloca: InstId) -> bool {
+    // Transitively collect values derived from the alloca (gep chains).
+    let mut derived: HashSet<Value> = HashSet::new();
+    derived.insert(Value::Inst(alloca));
+    loop {
+        let mut grew = false;
+        for b in f.block_ids() {
+            for &id in &f.block(b).insts {
+                if let InstKind::Gep { base, .. } = &f.inst(id).kind {
+                    if derived.contains(base) && derived.insert(Value::Inst(id)) {
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            let kind = &f.inst(id).kind;
+            match kind {
+                InstKind::Store { value, .. } => {
+                    if derived.contains(value) {
+                        return true; // address stored to memory
+                    }
+                }
+                InstKind::Load { .. } | InstKind::Gep { .. } => {}
+                InstKind::Memset { ptr, .. } => {
+                    // memset writes through it; that is a use, not an escape
+                    let _ = ptr;
+                }
+                InstKind::Memcpy { .. } => {}
+                InstKind::Call { args, callee } => {
+                    if let Callee::Indirect(v) = callee {
+                        if derived.contains(v) {
+                            return true;
+                        }
+                    }
+                    if args.iter().any(|a| derived.contains(a)) {
+                        return true;
+                    }
+                }
+                _ => {
+                    let mut esc = false;
+                    kind.for_each_operand(|v| {
+                        if derived.contains(&v)
+                            && !matches!(kind, InstKind::Load { .. } | InstKind::Gep { .. })
+                        {
+                            // Pointer used in arithmetic/compare — compares
+                            // do not escape, casts do (we lose tracking).
+                            if matches!(kind, InstKind::Cmp { .. }) {
+                                return;
+                            }
+                            esc = true;
+                        }
+                    });
+                    if esc {
+                        return true;
+                    }
+                }
+            }
+        }
+        let mut esc = false;
+        f.block(b).term.for_each_operand(|v| {
+            if derived.contains(&v) {
+                esc = true; // returned or switched on
+            }
+        });
+        if esc {
+            return true;
+        }
+    }
+    false
+}
+
+/// Clones a set of blocks inside `f`, remapping internal branch targets and
+/// instruction references. Returns the old→new block map. Values defined
+/// outside the region are left untouched; phi edges from outside the region
+/// are preserved as-is (callers fix them up).
+pub fn clone_region(f: &mut Function, region: &[BlockId]) -> HashMap<BlockId, BlockId> {
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
+    for &b in region {
+        let nb = f.add_block();
+        block_map.insert(b, nb);
+    }
+    // First pass: clone instructions (so ids exist), collecting the map.
+    for &b in region {
+        let ids = f.block(b).insts.clone();
+        let nb = block_map[&b];
+        for id in ids {
+            let inst = f.inst(id).clone();
+            let nid = f.add_inst(inst);
+            inst_map.insert(id, nid);
+            f.block_mut(nb).insts.push(nid);
+        }
+        f.block_mut(nb).term = f.block(b).term.clone();
+    }
+    // Second pass: remap operands and targets in the clones.
+    let remap_val = |v: Value, inst_map: &HashMap<InstId, InstId>| -> Value {
+        match v {
+            Value::Inst(id) => inst_map.get(&id).map(|n| Value::Inst(*n)).unwrap_or(v),
+            _ => v,
+        }
+    };
+    for &b in region {
+        let nb = block_map[&b];
+        let ids = f.block(nb).insts.clone();
+        for id in ids {
+            let mut kind = f.inst(id).kind.clone();
+            kind.map_operands(|v| remap_val(v, &inst_map));
+            if let InstKind::Phi { incomings } = &mut kind {
+                for (pb, _) in incomings.iter_mut() {
+                    if let Some(npb) = block_map.get(pb) {
+                        *pb = *npb;
+                    }
+                }
+            }
+            f.inst_mut(id).kind = kind;
+        }
+        let mut term = f.block(nb).term.clone();
+        term.map_targets(|t| block_map.get(&t).copied().unwrap_or(t));
+        term.map_operands(|v| remap_val(v, &inst_map));
+        f.block_mut(nb).term = term;
+    }
+    block_map
+}
+
+/// Splits `block` right after position `pos` (the instruction at `pos`
+/// stays in the original block). The new block receives the remaining
+/// instructions and the old terminator; the original block ends with a
+/// branch to the new block. Phi predecessors in successors are renamed.
+pub fn split_block_after(f: &mut Function, block: BlockId, pos: usize) -> BlockId {
+    let new_bb = f.add_block();
+    let tail: Vec<InstId> = f.block_mut(block).insts.split_off(pos + 1);
+    let old_term = std::mem::replace(&mut f.block_mut(block).term, Terminator::Br(new_bb));
+    for s in old_term.successors() {
+        f.rename_phi_pred(s, block, new_bb);
+    }
+    f.block_mut(new_bb).insts = tail;
+    f.block_mut(new_bb).term = old_term;
+    new_bb
+}
+
+/// Inserts a preheader for a loop whose header currently has multiple
+/// outside predecessors (or an outside predecessor with several
+/// successors). All outside edges are retargeted to a fresh block that
+/// branches to the header; header phis are split accordingly.
+pub fn ensure_preheader(
+    f: &mut Function,
+    header: BlockId,
+    loop_blocks: &HashSet<BlockId>,
+) -> BlockId {
+    let cfg = Cfg::new(f);
+    let outside: Vec<BlockId> = cfg.preds[header.index()]
+        .iter()
+        .copied()
+        .filter(|p| !loop_blocks.contains(p))
+        .collect();
+    if outside.len() == 1 && cfg.succs[outside[0].index()].len() == 1 {
+        return outside[0];
+    }
+    let pre = f.add_block();
+    f.block_mut(pre).term = Terminator::Br(header);
+    // Retarget outside edges.
+    for &p in &outside {
+        let mut term = f.block(p).term.clone();
+        term.map_targets(|t| if t == header { pre } else { t });
+        f.block_mut(p).term = term;
+    }
+    // Split header phis: the pre-incoming is a new phi in the preheader.
+    let header_insts = f.block(header).insts.clone();
+    for id in header_insts {
+        let (ty, incomings) = match &f.inst(id).kind {
+            InstKind::Phi { incomings } => (f.inst(id).ty, incomings.clone()),
+            _ => break,
+        };
+        let (out_inc, in_inc): (Vec<_>, Vec<_>) = incomings
+            .into_iter()
+            .partition(|(b, _)| outside.contains(b));
+        let pre_val = if out_inc.len() == 1 {
+            out_inc[0].1
+        } else {
+            let phi = f.add_inst(Inst::new(
+                InstKind::Phi {
+                    incomings: out_inc.clone(),
+                },
+                ty,
+            ));
+            f.block_mut(pre).insts.insert(0, phi);
+            Value::Inst(phi)
+        };
+        let mut new_inc = in_inc;
+        new_inc.push((pre, pre_val));
+        f.inst_mut(id).kind = InstKind::Phi { incomings: new_inc };
+    }
+    pre
+}
+
+/// Replaces an instruction's every use with `val` and removes it from its
+/// block. Convenience used all over the scalar phases.
+pub fn replace_and_remove(f: &mut Function, block: BlockId, id: InstId, val: Value) {
+    f.replace_all_uses(id, val);
+    f.remove_from_block(block, id);
+}
+
+/// Estimated static "size" of a function in abstract instruction units,
+/// used by inlining and unrolling thresholds.
+pub fn function_size(f: &Function) -> usize {
+    f.live_inst_count() + f.live_block_count()
+}
+
+/// Returns every `(block, inst)` in a function, in layout order.
+pub fn all_insts(f: &Function) -> Vec<(BlockId, InstId)> {
+    let mut v = Vec::with_capacity(f.live_inst_count());
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            v.push((b, id));
+        }
+    }
+    v
+}
+
+/// Pushes `inst` just before the terminator of `block`.
+pub fn append_before_term(f: &mut Function, block: BlockId, id: InstId) {
+    f.block_mut(block).insts.push(id);
+}
+
+/// Makes an empty block usable as a landing pad: no instructions, `Br` to
+/// `target`.
+pub fn make_trampoline(f: &mut Function, target: BlockId) -> BlockId {
+    let b = f.add_block();
+    f.block_mut(b).term = Terminator::Br(target);
+    b
+}
+
+/// Basic-block clone helper for a single block (used by jump threading).
+pub fn blocks_of(f: &Function) -> Vec<BasicBlock> {
+    f.blocks.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcomp_ir::{CmpPred, ModuleBuilder};
+
+    #[test]
+    fn folds_int_arith() {
+        let kind = InstKind::Bin {
+            op: BinOp::Add,
+            lhs: Value::i64(40),
+            rhs: Value::i64(2),
+            width: 1,
+        };
+        assert_eq!(fold_constant(&kind, Type::I64), Some(Value::i64(42)));
+        let div0 = InstKind::Bin {
+            op: BinOp::SDiv,
+            lhs: Value::i64(1),
+            rhs: Value::i64(0),
+            width: 1,
+        };
+        assert_eq!(fold_constant(&div0, Type::I64), None);
+    }
+
+    #[test]
+    fn folds_i32_wrapping() {
+        let kind = InstKind::Bin {
+            op: BinOp::Add,
+            lhs: Value::i32(i32::MAX),
+            rhs: Value::i32(1),
+            width: 1,
+        };
+        assert_eq!(
+            fold_constant(&kind, Type::I32),
+            Some(Value::i32(i32::MIN))
+        );
+    }
+
+    #[test]
+    fn folds_cmp_and_select() {
+        let c = InstKind::Cmp {
+            pred: CmpPred::Lt,
+            lhs: Value::i64(1),
+            rhs: Value::i64(2),
+        };
+        assert_eq!(fold_constant(&c, Type::I1), Some(Value::bool(true)));
+        let s = InstKind::Select {
+            cond: Value::bool(false),
+            then_val: Value::i64(1),
+            else_val: Value::i64(2),
+        };
+        assert_eq!(fold_constant(&s, Type::I64), Some(Value::i64(2)));
+    }
+
+    #[test]
+    fn simplifies_identities() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        let m = {
+            let mut b = mb.body();
+            let v = b.add(b.param(0), b.const_i64(0));
+            b.ret(Some(v));
+            mb.finish_function();
+            mb.build()
+        };
+        let f = &m.functions[0];
+        let id = InstId(0);
+        let got = simplify_inst(f, &f.inst(id).kind, f.inst(id).ty);
+        assert_eq!(got, Some(Value::Param(0)));
+    }
+
+    #[test]
+    fn dce_removes_dead_chain() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let dead1 = b.add(b.param(0), b.const_i64(1));
+            let _dead2 = b.mul(dead1, dead1);
+            b.ret(Some(b.param(0)));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let mut f = m.functions.remove(0);
+        assert!(trivial_dce(&m, &mut f, false));
+        assert_eq!(f.live_inst_count(), 0);
+    }
+
+    #[test]
+    fn unreachable_block_removal_fixes_phis() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![], Type::I64);
+        {
+            let mut b = mb.body();
+            let next = b.new_block();
+            b.br(next);
+            b.switch_to(next);
+            let p = b.phi(Type::I64, vec![(BlockId::ENTRY, Value::i64(1))]);
+            b.ret(Some(p));
+            // Dead block that also branches to `next` (stale edge).
+            let f = b.func();
+            let dead = f.add_block();
+            f.block_mut(dead).term = Terminator::Br(next);
+            if let InstKind::Phi { incomings } = &mut f.inst_mut(InstId(0)).kind {
+                incomings.push((dead, Value::i64(2)));
+            }
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let f = &mut m.functions[0];
+        assert!(remove_unreachable_blocks(f));
+        mlcomp_ir::verify(&m).expect("clean after removal");
+    }
+
+    #[test]
+    fn escape_analysis() {
+        let mut mb = ModuleBuilder::new("t");
+        let callee = mb.declare("sink", vec![Type::Ptr], Type::Void);
+        mb.begin_existing(callee);
+        mb.body().ret(None);
+        mb.finish_function();
+        mb.begin_function("f", vec![], Type::I64);
+        let (safe_id, escaped_id);
+        {
+            let mut b = mb.body();
+            let safe = b.alloca(1);
+            b.store(safe, b.const_i64(1));
+            let esc = b.alloca(1);
+            b.call(callee, vec![esc], Type::Void);
+            safe_id = safe.as_inst().unwrap();
+            escaped_id = esc.as_inst().unwrap();
+            let v = b.load(safe, Type::I64);
+            b.ret(Some(v));
+        }
+        mb.finish_function();
+        let m = mb.build();
+        let main = &m.functions[1];
+        assert!(!alloca_escapes(main, safe_id));
+        assert!(alloca_escapes(main, escaped_id));
+    }
+
+    #[test]
+    fn mem_roots() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.add_global("g", 4);
+        mb.begin_function("f", vec![Type::Ptr], Type::Void);
+        let (a_id, ga, unk);
+        {
+            let mut b = mb.body();
+            let a = b.alloca(2);
+            let a2 = b.gep(a, b.const_i64(1));
+            a_id = a.as_inst().unwrap();
+            ga = b.gep(b.global_addr(g), b.const_i64(2));
+            unk = b.gep(b.param(0), b.const_i64(0));
+            b.store(a2, b.const_i64(0));
+            b.ret(None);
+        }
+        mb.finish_function();
+        let m = mb.build();
+        let f = &m.functions[0];
+        assert_eq!(mem_root(f, ga), MemRoot::Global(g));
+        assert_eq!(mem_root(f, unk), MemRoot::Unknown);
+        assert!(may_alias(MemRoot::Unknown, MemRoot::Alloca(a_id)));
+        assert!(!may_alias(MemRoot::Alloca(a_id), MemRoot::Global(g)));
+    }
+
+    #[test]
+    fn region_cloning_is_self_contained() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let acc = b.local(b.const_i64(0));
+            b.for_loop(b.const_i64(0), b.param(0), 1, |b, i| {
+                let c = b.load(acc, Type::I64);
+                let n = b.add(c, i);
+                b.store(acc, n);
+            });
+            let r = b.load(acc, Type::I64);
+            b.ret(Some(r));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let f = &mut m.functions[0];
+        let before_blocks = f.live_block_count();
+        let region: Vec<BlockId> = f.block_ids().collect();
+        let map = clone_region(f, &region);
+        assert_eq!(map.len(), before_blocks);
+        assert_eq!(f.live_block_count(), before_blocks * 2);
+    }
+
+    #[test]
+    fn block_splitting() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.begin_function("f", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let x = b.add(b.param(0), b.const_i64(1));
+            let y = b.mul(x, x);
+            b.ret(Some(y));
+        }
+        mb.finish_function();
+        let mut m = mb.build();
+        let f = &mut m.functions[0];
+        let nb = split_block_after(f, BlockId::ENTRY, 0);
+        assert_eq!(f.block(BlockId::ENTRY).insts.len(), 1);
+        assert_eq!(f.block(nb).insts.len(), 1);
+        mlcomp_ir::verify(&m).expect("split is valid");
+    }
+}

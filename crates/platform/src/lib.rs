@@ -1,0 +1,58 @@
+//! Target platform models and the profiler.
+//!
+//! The MLComp paper profiles on two targets: an Intel Core i7 (with RAPL
+//! energy counters) and a RISC-V core simulated by the industrial
+//! HIPERSIM + McPAT stack. Neither is available here, so this crate
+//! provides the substitution described in DESIGN.md §2: analytic cost
+//! models that convert the interpreter's architecture-independent dynamic
+//! operation counts ([`mlcomp_ir::DynCounts`]) into the paper's four
+//! metrics — execution time, energy, executed instructions and code size.
+//!
+//! The two models are deliberately *different* (out-of-order ILP and SIMD
+//! on x86; in-order scalar with expensive branches and no SIMD on RISC-V)
+//! so that cross-platform adaptation — the paper's central claim — is a
+//! real learning problem, not a rescaling.
+//!
+//! # Example
+//!
+//! ```
+//! use mlcomp_ir::{ModuleBuilder, Type, RtVal};
+//! use mlcomp_platform::{Profiler, Workload, X86Platform};
+//!
+//! let mut mb = ModuleBuilder::new("m");
+//! mb.begin_function("main", vec![Type::I64], Type::I64);
+//! {
+//!     let mut b = mb.body();
+//!     let acc = b.local(b.const_i64(0));
+//!     b.for_loop(b.const_i64(0), b.param(0), 1, |b, i| {
+//!         let c = b.load(acc, Type::I64);
+//!         let n = b.add(c, i);
+//!         b.store(acc, n);
+//!     });
+//!     let r = b.load(acc, Type::I64);
+//!     b.ret(Some(r));
+//! }
+//! mb.finish_function();
+//! let m = mb.build();
+//!
+//! let platform = X86Platform::new();
+//! let profiler = Profiler::new(&platform);
+//! let feats = profiler
+//!     .profile(&m, &Workload::new("main", vec![RtVal::I(1000)]))
+//!     .unwrap();
+//! assert!(feats.exec_time_s > 0.0 && feats.energy_j > 0.0);
+//! ```
+
+pub mod dominance;
+pub mod metrics;
+pub mod model;
+pub mod profiler;
+pub mod riscv;
+pub mod x86;
+
+pub use dominance::{probabilistic_dominance, DominanceEstimate};
+pub use metrics::{DynamicFeatures, METRIC_COUNT, METRIC_NAMES};
+pub use model::{CostModel, TargetPlatform};
+pub use profiler::{Profiler, Workload};
+pub use riscv::RiscVPlatform;
+pub use x86::X86Platform;

@@ -1,0 +1,139 @@
+//! The four dynamic metrics the MLComp models predict.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of predicted metrics.
+pub const METRIC_COUNT: usize = 4;
+
+/// Metric names, in [`DynamicFeatures::as_array`] order. These are the four
+/// outputs of the paper's Performance Estimator (Fig. 4/6): execution
+/// time, energy consumption, executed instructions and code size.
+pub const METRIC_NAMES: [&str; METRIC_COUNT] =
+    ["exec_time_s", "energy_j", "instructions", "code_size"];
+
+/// One profiling observation: the dynamic features of a compiled program
+/// on a target platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicFeatures {
+    /// Execution (wall-clock) time in seconds.
+    pub exec_time_s: f64,
+    /// Energy in joules (RAPL-like on x86, McPAT-like on RISC-V).
+    pub energy_j: f64,
+    /// Effective executed instruction count (SIMD groups count once).
+    pub instructions: f64,
+    /// Code size in bytes.
+    pub code_size: f64,
+}
+
+impl DynamicFeatures {
+    /// Values in [`METRIC_NAMES`] order.
+    pub fn as_array(&self) -> [f64; METRIC_COUNT] {
+        [
+            self.exec_time_s,
+            self.energy_j,
+            self.instructions,
+            self.code_size,
+        ]
+    }
+
+    /// Builds from a [`METRIC_NAMES`]-ordered array.
+    pub fn from_array(a: [f64; METRIC_COUNT]) -> DynamicFeatures {
+        DynamicFeatures {
+            exec_time_s: a[0],
+            energy_j: a[1],
+            instructions: a[2],
+            code_size: a[3],
+        }
+    }
+
+    /// A metric by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not in [`METRIC_NAMES`].
+    pub fn get(&self, name: &str) -> f64 {
+        match name {
+            "exec_time_s" => self.exec_time_s,
+            "energy_j" => self.energy_j,
+            "instructions" => self.instructions,
+            "code_size" => self.code_size,
+            other => panic!("unknown metric `{other}`"),
+        }
+    }
+
+    /// Elementwise ratio `self / base` — the "relative to unoptimized"
+    /// normalization of the paper's Figs. 5 and 7.
+    pub fn relative_to(&self, base: &DynamicFeatures) -> DynamicFeatures {
+        let div = |a: f64, b: f64| if b != 0.0 { a / b } else { 0.0 };
+        DynamicFeatures {
+            exec_time_s: div(self.exec_time_s, base.exec_time_s),
+            energy_j: div(self.energy_j, base.energy_j),
+            instructions: div(self.instructions, base.instructions),
+            code_size: div(self.code_size, base.code_size),
+        }
+    }
+
+    /// `true` if every metric of `self` is ≤ the corresponding metric of
+    /// `other`, with at least one strictly smaller (Pareto dominance,
+    /// lower-is-better).
+    pub fn dominates(&self, other: &DynamicFeatures) -> bool {
+        let a = self.as_array();
+        let b = other.as_array();
+        a.iter().zip(&b).all(|(x, y)| x <= y) && a.iter().zip(&b).any(|(x, y)| x < y)
+    }
+}
+
+impl fmt::Display for DynamicFeatures {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "time {:.3e}s, energy {:.3e}J, {} insts, {} bytes",
+            self.exec_time_s, self.energy_j, self.instructions as u64, self.code_size as u64
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DynamicFeatures {
+        DynamicFeatures {
+            exec_time_s: 1.0,
+            energy_j: 2.0,
+            instructions: 100.0,
+            code_size: 400.0,
+        }
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let d = sample();
+        assert_eq!(DynamicFeatures::from_array(d.as_array()), d);
+        for (i, name) in METRIC_NAMES.iter().enumerate() {
+            assert_eq!(d.get(name), d.as_array()[i]);
+        }
+    }
+
+    #[test]
+    fn relative_normalization() {
+        let d = sample();
+        let r = d.relative_to(&d);
+        assert_eq!(r.as_array(), [1.0; 4]);
+    }
+
+    #[test]
+    fn pareto_dominance() {
+        let a = sample();
+        let mut b = sample();
+        b.exec_time_s = 2.0;
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a), "equal points do not dominate");
+        let mut c = sample();
+        c.exec_time_s = 0.5;
+        c.energy_j = 3.0;
+        assert!(!a.dominates(&c) && !c.dominates(&a), "incomparable");
+    }
+}

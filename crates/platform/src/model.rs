@@ -1,0 +1,321 @@
+//! The generic analytic cost model and the [`TargetPlatform`] trait.
+
+use crate::metrics::DynamicFeatures;
+use mlcomp_ir::{DynCounts, InstKind, Module, Terminator};
+use serde::{Deserialize, Serialize};
+
+/// Per-operation-class cycle and energy weights plus platform-level
+/// parameters. Both concrete platforms are instances of this model with
+/// very different numbers; see [`crate::X86Platform`] and
+/// [`crate::RiscVPlatform`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Static (leakage + uncore) power in watts, charged over runtime.
+    pub static_power_w: f64,
+    /// SIMD speedup factor for vector-annotated ops (1.0 = no SIMD unit).
+    pub simd_speedup: f64,
+    /// Cycles per op class: `[int_alu, int_mul, int_div, fp_add, fp_mul,
+    /// fp_div, fp_special, load, store, jump, branch, call, ret, alloca]`.
+    pub cycles: [f64; 14],
+    /// Extra cycles per unaligned memory access.
+    pub unaligned_penalty: f64,
+    /// Branch misprediction penalty in cycles.
+    pub mispredict_penalty: f64,
+    /// Cycles per cell for memset / memcpy.
+    pub memset_cell_cycles: f64,
+    /// Cycles per cell for memcpy.
+    pub memcpy_cell_cycles: f64,
+    /// Fixed cycles per memory-intrinsic invocation.
+    pub mem_intrinsic_overhead: f64,
+    /// Energy per op class in joules (same order as `cycles`).
+    pub energy: [f64; 14],
+    /// Extra energy per unaligned access (J).
+    pub unaligned_energy: f64,
+    /// Energy per memset/memcpy cell (J).
+    pub mem_cell_energy: f64,
+    /// Code bytes per static instruction class (see
+    /// [`CostModel::code_size`]): `[alu, mul_div, fp, mem, cmp_select,
+    /// cast_gep, call, branch, phi_move, intrinsic]`.
+    pub inst_bytes: [f64; 10],
+    /// Fixed code bytes per function (prologue/epilogue).
+    pub function_overhead_bytes: f64,
+    /// Extra bytes per vector-annotated static instruction.
+    pub vector_encoding_bytes: f64,
+}
+
+impl CostModel {
+    /// Estimated cycles for one execution's dynamic counts.
+    pub fn cycles(&self, c: &DynCounts) -> f64 {
+        let [alu, mul, div, fadd, fmul, fdiv, fspec, load, store, jump, branch, call, ret, alloca] =
+            self.cycles;
+        let mut cy = c.int_alu as f64 * alu
+            + c.int_mul as f64 * mul
+            + c.int_div as f64 * div
+            + c.fp_add as f64 * fadd
+            + c.fp_mul as f64 * fmul
+            + c.fp_div as f64 * fdiv
+            + c.fp_special as f64 * fspec
+            + c.load as f64 * load
+            + c.store as f64 * store
+            + c.jump as f64 * jump
+            + c.branch as f64 * branch
+            + c.call as f64 * call
+            + c.ret as f64 * ret
+            + c.alloca as f64 * alloca;
+        cy += c.unaligned_mem as f64 * self.unaligned_penalty;
+        cy += self.mispredicts(c) * self.mispredict_penalty;
+        cy += c.memset_cells as f64 * self.memset_cell_cycles
+            + c.memcpy_cells as f64 * self.memcpy_cell_cycles
+            + c.mem_intrinsic as f64 * self.mem_intrinsic_overhead;
+        // SIMD amortization: vector-annotated per-lane executions share
+        // instructions; see DESIGN.md §2 (vectorization substitution).
+        cy -= self.vector_cycle_savings(c);
+        cy.max(1.0)
+    }
+
+    /// Estimated branch mispredictions: balanced unhinted branches are hard
+    /// to predict; `lower-expect` hints mostly remove the cost (and charge
+    /// heavily when wrong).
+    pub fn mispredicts(&self, c: &DynCounts) -> f64 {
+        let hinted = c.hinted_correct + c.hinted_wrong;
+        let unhinted = c.branch.saturating_sub(hinted) as f64;
+        let taken_ratio = if c.branch > 0 {
+            c.taken as f64 / c.branch as f64
+        } else {
+            0.0
+        };
+        // Entropy-ish difficulty: 0 when always/never taken, max at 50/50.
+        let difficulty = 2.0 * taken_ratio.min(1.0 - taken_ratio);
+        unhinted * 0.5 * difficulty + c.hinted_wrong as f64 * 0.9 + c.hinted_correct as f64 * 0.02
+    }
+
+    fn vector_cycle_savings(&self, c: &DynCounts) -> f64 {
+        if c.vector_ops == 0 || self.simd_speedup <= 1.0 {
+            return 0.0;
+        }
+        let avg_width = c.vector_lanes as f64 / c.vector_ops as f64;
+        let width_gain = 1.0 - 1.0 / avg_width.max(1.0);
+        let simd_gain = 1.0 - 1.0 / self.simd_speedup;
+        // Vector-eligible ops are ALU/FP/memory ~1-cycle-class ops.
+        c.vector_ops as f64 * width_gain.min(simd_gain)
+    }
+
+    /// Effective executed instruction count: SIMD groups count once.
+    pub fn effective_instructions(&self, c: &DynCounts) -> f64 {
+        let total = c.total_instructions() as f64;
+        if c.vector_ops == 0 || self.simd_speedup <= 1.0 {
+            return total;
+        }
+        let avg_width = (c.vector_lanes as f64 / c.vector_ops as f64).max(1.0);
+        total - c.vector_ops as f64 * (1.0 - 1.0 / avg_width)
+    }
+
+    /// Estimated energy in joules (dynamic per-op + static power × time).
+    pub fn energy(&self, c: &DynCounts) -> f64 {
+        let [alu, mul, div, fadd, fmul, fdiv, fspec, load, store, jump, branch, call, ret, alloca] =
+            self.energy;
+        let mut e = c.int_alu as f64 * alu
+            + c.int_mul as f64 * mul
+            + c.int_div as f64 * div
+            + c.fp_add as f64 * fadd
+            + c.fp_mul as f64 * fmul
+            + c.fp_div as f64 * fdiv
+            + c.fp_special as f64 * fspec
+            + c.load as f64 * load
+            + c.store as f64 * store
+            + c.jump as f64 * jump
+            + c.branch as f64 * branch
+            + c.call as f64 * call
+            + c.ret as f64 * ret
+            + c.alloca as f64 * alloca;
+        e += c.unaligned_mem as f64 * self.unaligned_energy;
+        e += (c.memset_cells + c.memcpy_cells) as f64 * self.mem_cell_energy;
+        // SIMD reduces fetch/decode energy proportionally to the saved
+        // instruction slots.
+        if c.vector_ops > 0 && self.simd_speedup > 1.0 {
+            let avg_width = (c.vector_lanes as f64 / c.vector_ops as f64).max(1.0);
+            e -= c.vector_ops as f64 * (1.0 - 1.0 / avg_width) * alu * 0.5;
+        }
+        let time = self.cycles(c) / self.freq_hz;
+        (e + self.static_power_w * time).max(0.0)
+    }
+
+    /// Static code size of a module in bytes under this platform's
+    /// encoding assumptions.
+    pub fn code_size(&self, m: &Module) -> f64 {
+        let [alu, mul_div, fp, mem, cmp_sel, cast_gep, call, branch, phi_move, intrinsic] =
+            self.inst_bytes;
+        let mut bytes = 0.0;
+        for f in &m.functions {
+            if f.is_declaration {
+                continue;
+            }
+            bytes += self.function_overhead_bytes;
+            for b in f.block_ids() {
+                for &id in &f.block(b).insts {
+                    let inst = f.inst(id);
+                    bytes += match &inst.kind {
+                        InstKind::Bin { op, width, .. } => {
+                            let base = if op.is_float() {
+                                fp
+                            } else if matches!(
+                                op,
+                                mlcomp_ir::BinOp::Mul
+                                    | mlcomp_ir::BinOp::SDiv
+                                    | mlcomp_ir::BinOp::UDiv
+                                    | mlcomp_ir::BinOp::SRem
+                                    | mlcomp_ir::BinOp::URem
+                            ) {
+                                mul_div
+                            } else {
+                                alu
+                            };
+                            base + if *width > 1 {
+                                self.vector_encoding_bytes
+                            } else {
+                                0.0
+                            }
+                        }
+                        InstKind::Un { op, .. } => {
+                            if op.is_expensive_float() {
+                                fp
+                            } else {
+                                alu
+                            }
+                        }
+                        InstKind::Cmp { .. } | InstKind::Select { .. } => cmp_sel,
+                        InstKind::Cast { .. } | InstKind::Gep { .. } => cast_gep,
+                        InstKind::Phi { incomings } => phi_move * incomings.len() as f64,
+                        InstKind::Alloca { .. } => alu,
+                        InstKind::Load { width, .. } | InstKind::Store { width, .. } => {
+                            mem + if *width > 1 {
+                                self.vector_encoding_bytes
+                            } else {
+                                0.0
+                            }
+                        }
+                        InstKind::Call { .. } => call,
+                        InstKind::Memset { .. } | InstKind::Memcpy { .. } => intrinsic,
+                        InstKind::Expect { .. } => alu,
+                    };
+                }
+                bytes += match &f.block(b).term {
+                    Terminator::Br(_) => branch,
+                    Terminator::CondBr { .. } => branch * 1.5,
+                    Terminator::Switch { cases, .. } => branch + 2.0 * cases.len() as f64,
+                    Terminator::Ret(_) => alu,
+                    Terminator::Unreachable => 0.0,
+                };
+            }
+        }
+        bytes
+    }
+
+    /// Full metric computation for one run.
+    pub fn features(&self, counts: &DynCounts, module: &Module) -> DynamicFeatures {
+        let cycles = self.cycles(counts);
+        let time = cycles / self.freq_hz;
+        DynamicFeatures {
+            exec_time_s: time,
+            energy_j: self.energy(counts),
+            instructions: self.effective_instructions(counts),
+            code_size: self.code_size(module),
+        }
+    }
+}
+
+/// A compilation target: a named cost model.
+pub trait TargetPlatform {
+    /// Platform name ("x86", "riscv").
+    fn name(&self) -> &'static str;
+
+    /// The platform's cost model.
+    fn cost_model(&self) -> &CostModel;
+
+    /// Converts one execution's counts into the four dynamic metrics.
+    fn features(&self, counts: &DynCounts, module: &Module) -> DynamicFeatures {
+        self.cost_model().features(counts, module)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::x86::X86Platform;
+
+    fn counts(loads: u64, branches: u64, taken: u64) -> DynCounts {
+        DynCounts {
+            int_alu: 100,
+            load: loads,
+            branch: branches,
+            taken,
+            ..DynCounts::default()
+        }
+    }
+
+    #[test]
+    fn more_work_more_time() {
+        let m = X86Platform::new();
+        let a = m.cost_model().cycles(&counts(10, 10, 5));
+        let b = m.cost_model().cycles(&counts(1000, 10, 5));
+        assert!(b > a);
+    }
+
+    #[test]
+    fn balanced_branches_cost_more() {
+        let m = X86Platform::new();
+        let balanced = m.cost_model().mispredicts(&counts(0, 100, 50));
+        let skewed = m.cost_model().mispredicts(&counts(0, 100, 99));
+        assert!(balanced > skewed);
+    }
+
+    #[test]
+    fn hints_reduce_mispredicts() {
+        let m = X86Platform::new().cost_model().clone();
+        let unhinted = DynCounts {
+            branch: 100,
+            taken: 50,
+            ..DynCounts::default()
+        };
+        let hinted = DynCounts {
+            branch: 100,
+            taken: 50,
+            hinted_correct: 95,
+            hinted_wrong: 5,
+            ..DynCounts::default()
+        };
+        assert!(m.mispredicts(&hinted) < m.mispredicts(&unhinted));
+    }
+
+    #[test]
+    fn vector_annotation_saves_cycles_with_simd() {
+        let m = X86Platform::new().cost_model().clone();
+        let scalar = DynCounts {
+            int_alu: 1000,
+            ..DynCounts::default()
+        };
+        let vectored = DynCounts {
+            int_alu: 1000,
+            vector_ops: 800,
+            vector_lanes: 3200,
+            ..DynCounts::default()
+        };
+        assert!(m.cycles(&vectored) < m.cycles(&scalar));
+        assert!(m.effective_instructions(&vectored) < m.effective_instructions(&scalar));
+    }
+
+    #[test]
+    fn energy_includes_static_power() {
+        let m = X86Platform::new().cost_model().clone();
+        let quick = counts(10, 0, 0);
+        let slow = DynCounts {
+            int_div: 10_000, // long runtime, few "ops"
+            ..DynCounts::default()
+        };
+        let e_quick = m.energy(&quick);
+        let e_slow = m.energy(&slow);
+        assert!(e_slow > e_quick, "static power dominates long runs");
+    }
+}

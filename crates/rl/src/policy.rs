@@ -1,0 +1,343 @@
+//! The policy network: a 3-layer MLP (input → 16 → 16 → actions) with a
+//! softmax head, implemented with explicit forward/backward passes.
+
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A softmax policy over a discrete action set.
+///
+/// Architecture per the paper's Table V: three layers with inner size 16
+/// (two tanh hidden layers of `hidden` units, then a linear layer into the
+/// softmax).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyNet {
+    /// Input dimensionality.
+    pub input_dim: usize,
+    /// Hidden width (Table V: 16).
+    pub hidden: usize,
+    /// Number of actions.
+    pub actions: usize,
+    #[serde(with = "mlcomp_linalg::serde_bits::vec_f64")]
+    w1: Vec<f64>, // input_dim × hidden
+    #[serde(with = "mlcomp_linalg::serde_bits::vec_f64")]
+    b1: Vec<f64>,
+    #[serde(with = "mlcomp_linalg::serde_bits::vec_f64")]
+    w2: Vec<f64>, // hidden × hidden
+    #[serde(with = "mlcomp_linalg::serde_bits::vec_f64")]
+    b2: Vec<f64>,
+    #[serde(with = "mlcomp_linalg::serde_bits::vec_f64")]
+    w3: Vec<f64>, // hidden × actions
+    #[serde(with = "mlcomp_linalg::serde_bits::vec_f64")]
+    b3: Vec<f64>,
+}
+
+/// Intermediate activations kept for the backward pass.
+#[derive(Debug, Clone)]
+pub struct Forward {
+    /// Input copy.
+    pub x: Vec<f64>,
+    h1: Vec<f64>,
+    h2: Vec<f64>,
+    /// Softmax probabilities per action.
+    pub probs: Vec<f64>,
+}
+
+impl PolicyNet {
+    /// Creates a randomly initialized policy (Xavier-ish, seeded).
+    pub fn new(input_dim: usize, hidden: usize, actions: usize, seed: u64) -> PolicyNet {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut init = |n: usize, fan_in: usize| -> Vec<f64> {
+            let bound = (1.0 / fan_in.max(1) as f64).sqrt();
+            (0..n).map(|_| rng.gen_range(-bound..bound)).collect()
+        };
+        PolicyNet {
+            input_dim,
+            hidden,
+            actions,
+            w1: init(input_dim * hidden, input_dim),
+            b1: vec![0.0; hidden],
+            w2: init(hidden * hidden, hidden),
+            b2: vec![0.0; hidden],
+            w3: init(hidden * actions, hidden),
+            b3: vec![0.0; actions],
+        }
+    }
+
+    /// Forward pass returning action probabilities and cached activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim`.
+    pub fn forward(&self, x: &[f64]) -> Forward {
+        assert_eq!(x.len(), self.input_dim, "state dimension mismatch");
+        let h = self.hidden;
+        let mut h1 = vec![0.0; h];
+        for k in 0..h {
+            let mut s = self.b1[k];
+            for (j, xv) in x.iter().enumerate() {
+                s += xv * self.w1[j * h + k];
+            }
+            h1[k] = s.tanh();
+        }
+        let mut h2 = vec![0.0; h];
+        for k in 0..h {
+            let mut s = self.b2[k];
+            for j in 0..h {
+                s += h1[j] * self.w2[j * h + k];
+            }
+            h2[k] = s.tanh();
+        }
+        let mut logits = vec![0.0; self.actions];
+        for (a, l) in logits.iter_mut().enumerate() {
+            let mut s = self.b3[a];
+            for j in 0..h {
+                s += h2[j] * self.w3[j * self.actions + a];
+            }
+            *l = s;
+        }
+        let probs = softmax(&logits);
+        Forward {
+            x: x.to_vec(),
+            h1,
+            h2,
+            probs,
+        }
+    }
+
+    /// Action probabilities for a state.
+    pub fn probabilities(&self, x: &[f64]) -> Vec<f64> {
+        self.forward(x).probs
+    }
+
+    /// The most probable action.
+    pub fn best_action(&self, x: &[f64]) -> usize {
+        argmax(&self.probabilities(x))
+    }
+
+    /// Actions ordered from most to least probable — the deployment-time
+    /// "second best, third best, …" fallback order of the paper's PSS.
+    pub fn ranked_actions(&self, x: &[f64]) -> Vec<usize> {
+        let probs = self.probabilities(x);
+        let mut idx: Vec<usize> = (0..probs.len()).collect();
+        idx.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).unwrap());
+        idx
+    }
+
+    /// Samples an action from the policy distribution.
+    pub fn sample_action(&self, x: &[f64], rng: &mut rand::rngs::StdRng) -> usize {
+        let probs = self.probabilities(x);
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (a, p) in probs.iter().enumerate() {
+            acc += p;
+            if roll < acc {
+                return a;
+            }
+        }
+        probs.len() - 1
+    }
+
+    /// Accumulates the REINFORCE gradient of `−advantage · log π(action|x)`
+    /// into `grads` (layout: `w1, b1, w2, b2, w3, b3`).
+    pub fn accumulate_gradient(&self, fwd: &Forward, action: usize, advantage: f64, grads: &mut [f64]) {
+        // dL/dlogit = (p − onehot) · advantage.
+        let mut dlogits = fwd.probs.clone();
+        dlogits[action] -= 1.0;
+        for v in dlogits.iter_mut() {
+            *v *= advantage;
+        }
+        self.backprop_from_logits(fwd, &dlogits, grads);
+    }
+
+    /// Backpropagates a logit-space gradient through the network,
+    /// accumulating into `grads`.
+    fn backprop_from_logits(&self, fwd: &Forward, dlogits: &[f64], grads: &mut [f64]) {
+        let h = self.hidden;
+        let a_n = self.actions;
+        let d = self.input_dim;
+        // Layout: w1, b1, w2, b2, w3, b3.
+        let (o_w1, o_b1) = (0, d * h);
+        let (o_w2, o_b2) = (o_b1 + h, o_b1 + h + h * h);
+        let (o_w3, o_b3) = (o_b2 + h, o_b2 + h + h * a_n);
+
+        let mut dh2 = vec![0.0; h];
+        for a in 0..a_n {
+            let g = dlogits[a];
+            grads[o_b3 + a] += g;
+            for j in 0..h {
+                grads[o_w3 + j * a_n + a] += g * fwd.h2[j];
+                dh2[j] += g * self.w3[j * a_n + a];
+            }
+        }
+        let mut dh1 = vec![0.0; h];
+        for k in 0..h {
+            let g = dh2[k] * (1.0 - fwd.h2[k] * fwd.h2[k]);
+            grads[o_b2 + k] += g;
+            for j in 0..h {
+                grads[o_w2 + j * h + k] += g * fwd.h1[j];
+                dh1[j] += g * self.w2[j * h + k];
+            }
+        }
+        for k in 0..h {
+            let g = dh1[k] * (1.0 - fwd.h1[k] * fwd.h1[k]);
+            grads[o_b1 + k] += g;
+            for (j, xv) in fwd.x.iter().enumerate() {
+                grads[o_w1 + j * h + k] += g * xv;
+            }
+        }
+    }
+
+    /// Accumulates the gradient of `−β·H(π(·|x))` (negative-entropy loss)
+    /// into `grads`: an entropy *bonus* that discourages premature
+    /// collapse of the action distribution.
+    pub fn accumulate_entropy_gradient(&self, fwd: &Forward, beta: f64, grads: &mut [f64]) {
+        // d(−H)/dlogit_j = p_j · (log p_j + H).
+        let entropy: f64 = -fwd
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>();
+        let dlogits: Vec<f64> = fwd
+            .probs
+            .iter()
+            .map(|&p| beta * p * (p.max(1e-300).ln() + entropy))
+            .collect();
+        self.backprop_from_logits(fwd, &dlogits, grads);
+    }
+
+    /// Total parameter count (gradient buffer size).
+    pub fn param_count(&self) -> usize {
+        self.w1.len() + self.b1.len() + self.w2.len() + self.b2.len() + self.w3.len() + self.b3.len()
+    }
+
+    /// Applies a gradient-descent step `params -= lr · grads`.
+    pub fn apply_gradients(&mut self, grads: &[f64], lr: f64) {
+        assert_eq!(grads.len(), self.param_count());
+        let mut it = grads.iter();
+        for p in self
+            .w1
+            .iter_mut()
+            .chain(self.b1.iter_mut())
+            .chain(self.w2.iter_mut())
+            .chain(self.b2.iter_mut())
+            .chain(self.w3.iter_mut())
+            .chain(self.b3.iter_mut())
+        {
+            *p -= lr * it.next().expect("length checked");
+        }
+    }
+}
+
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let p = PolicyNet::new(4, 16, 6, 1);
+        let probs = p.probabilities(&[0.1, -0.3, 0.5, 2.0]);
+        assert_eq!(probs.len(), 6);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(probs.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn ranked_actions_orders_by_probability() {
+        let p = PolicyNet::new(3, 16, 5, 2);
+        let x = [1.0, 0.0, -1.0];
+        let probs = p.probabilities(&x);
+        let ranked = p.ranked_actions(&x);
+        assert_eq!(ranked.len(), 5);
+        for w in ranked.windows(2) {
+            assert!(probs[w[0]] >= probs[w[1]]);
+        }
+        assert_eq!(ranked[0], p.best_action(&x));
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let net = PolicyNet::new(3, 8, 4, 3);
+        let x = [0.5, -1.0, 2.0];
+        let action = 2;
+        let adv = 1.7;
+        // Analytic gradient.
+        let fwd = net.forward(&x);
+        let mut grads = vec![0.0; net.param_count()];
+        net.accumulate_gradient(&fwd, action, adv, &mut grads);
+        // Numeric gradient for a few parameters.
+        let loss = |n: &PolicyNet| -> f64 { -adv * n.forward(&x).probs[action].ln() };
+        let eps = 1e-6;
+        for idx in [0usize, 5, 30, 80] {
+            let base = loss(&net);
+            // Perturb parameter idx via apply_gradients with a unit vector.
+            let mut delta = vec![0.0; net.param_count()];
+            delta[idx] = -eps; // apply_gradients subtracts
+            let mut plus = net.clone();
+            plus.apply_gradients(&delta, 1.0);
+            let numeric = (loss(&plus) - base) / eps;
+            assert!(
+                (numeric - grads[idx]).abs() < 1e-4,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                grads[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let p = PolicyNet::new(5, 16, 7, 9);
+        let json = serde_json::to_string(&p).unwrap();
+        let q: PolicyNet = serde_json::from_str(&json).unwrap();
+        assert_eq!((q.input_dim, q.hidden, q.actions), (5, 16, 7));
+        // Weights survive to within float-printing precision, so decisions
+        // are identical — the property the deployment step needs.
+        let x = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let (pp, qp) = (p.probabilities(&x), q.probabilities(&x));
+        for (a, b) in pp.iter().zip(&qp) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(p.ranked_actions(&x), q.ranked_actions(&x));
+    }
+
+    #[test]
+    fn sampling_follows_distribution() {
+        let p = PolicyNet::new(1, 16, 3, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let probs = p.probabilities(&[1.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[p.sample_action(&[1.0], &mut rng)] += 1;
+        }
+        for a in 0..3 {
+            let freq = counts[a] as f64 / 30_000.0;
+            assert!(
+                (freq - probs[a]).abs() < 0.02,
+                "action {a}: {freq} vs {}",
+                probs[a]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "state dimension mismatch")]
+    fn wrong_input_size_panics() {
+        PolicyNet::new(3, 16, 2, 0).forward(&[1.0]);
+    }
+}

@@ -1,0 +1,276 @@
+//! REINFORCE training (the paper's Algorithm 2): batches of episodes,
+//! discounted returns, batch-mean baseline, policy-gradient ascent.
+
+use crate::policy::PolicyNet;
+use rand::SeedableRng;
+
+/// An episodic environment with a fixed-dimensional observation and a
+/// discrete action set.
+pub trait Env {
+    /// Observation dimensionality.
+    fn state_dim(&self) -> usize;
+    /// Number of discrete actions.
+    fn action_count(&self) -> usize;
+    /// Starts a new episode, returning the initial observation.
+    fn reset(&mut self) -> Vec<f64>;
+    /// Applies an action; returns `(next_state, reward, done)`.
+    fn step(&mut self, action: usize) -> (Vec<f64>, f64, bool);
+}
+
+/// Per-batch statistics emitted during training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingStats {
+    /// Episodes completed so far.
+    pub episodes: usize,
+    /// Mean undiscounted episode return in the batch.
+    pub mean_return: f64,
+    /// Mean episode length in the batch.
+    pub mean_length: f64,
+}
+
+/// The REINFORCE trainer with Table V's hyper-parameters as defaults
+/// (512 episodes, batch 6, learning rate 0.1).
+#[derive(Debug, Clone)]
+pub struct ReinforceTrainer {
+    /// Total training episodes (`num_episodes`).
+    pub episodes: usize,
+    /// Episodes per policy update (`batch_size`).
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Discount factor for returns.
+    pub gamma: f64,
+    /// Cap on episode length (safety; the env usually terminates first).
+    pub max_steps: usize,
+    /// Entropy-bonus coefficient: keeps the softmax from collapsing onto a
+    /// few actions before the reward signal is trustworthy (0 disables).
+    pub entropy_bonus: f64,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for ReinforceTrainer {
+    fn default() -> Self {
+        ReinforceTrainer {
+            episodes: 512,
+            batch_size: 6,
+            learning_rate: 0.1,
+            gamma: 0.99,
+            max_steps: 128,
+            entropy_bonus: 0.01,
+            seed: 1234,
+        }
+    }
+}
+
+impl ReinforceTrainer {
+    /// Trains `policy` on `env`, returning per-batch statistics.
+    pub fn train(&self, policy: &mut PolicyNet, env: &mut dyn Env) -> Vec<TrainingStats> {
+        self.train_with_callback(policy, env, |_| {})
+    }
+
+    /// Like [`ReinforceTrainer::train`], invoking `on_batch` after every
+    /// policy update (for logging / learning curves).
+    pub fn train_with_callback(
+        &self,
+        policy: &mut PolicyNet,
+        env: &mut dyn Env,
+        mut on_batch: impl FnMut(&TrainingStats),
+    ) -> Vec<TrainingStats> {
+        assert_eq!(policy.input_dim, env.state_dim(), "policy/env state mismatch");
+        assert_eq!(policy.actions, env.action_count(), "policy/env action mismatch");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut stats = Vec::new();
+        let mut episode_count = 0usize;
+        while episode_count < self.episodes {
+            let batch = self.batch_size.min(self.episodes - episode_count);
+            // Collect a batch of episodes.
+            let mut all_steps: Vec<(crate::policy::Forward, usize, f64)> = Vec::new();
+            let mut batch_return = 0.0;
+            let mut batch_len = 0.0;
+            for _ in 0..batch {
+                let mut state = env.reset();
+                let mut rewards: Vec<f64> = Vec::new();
+                let mut steps: Vec<(crate::policy::Forward, usize)> = Vec::new();
+                for _ in 0..self.max_steps {
+                    let fwd = policy.forward(&state);
+                    let action = sample_from(&fwd.probs, &mut rng);
+                    let (next, reward, done) = env.step(action);
+                    steps.push((fwd, action));
+                    rewards.push(reward);
+                    state = next;
+                    if done {
+                        break;
+                    }
+                }
+                batch_return += rewards.iter().sum::<f64>();
+                batch_len += rewards.len() as f64;
+                // Discounted returns G_t.
+                let mut g = 0.0;
+                let mut returns = vec![0.0; rewards.len()];
+                for t in (0..rewards.len()).rev() {
+                    g = rewards[t] + self.gamma * g;
+                    returns[t] = g;
+                }
+                for ((fwd, action), ret) in steps.into_iter().zip(returns) {
+                    all_steps.push((fwd, action, ret));
+                }
+            }
+            episode_count += batch;
+            if all_steps.is_empty() {
+                continue;
+            }
+            // Baseline: batch-mean return (variance reduction).
+            let baseline =
+                all_steps.iter().map(|(_, _, g)| g).sum::<f64>() / all_steps.len() as f64;
+            let mut grads = vec![0.0; policy.param_count()];
+            let scale = 1.0 / all_steps.len() as f64;
+            for (fwd, action, g) in &all_steps {
+                policy.accumulate_gradient(fwd, *action, (g - baseline) * scale, &mut grads);
+                if self.entropy_bonus > 0.0 {
+                    policy.accumulate_entropy_gradient(fwd, self.entropy_bonus * scale, &mut grads);
+                }
+            }
+            policy.apply_gradients(&grads, self.learning_rate);
+            let s = TrainingStats {
+                episodes: episode_count,
+                mean_return: batch_return / batch as f64,
+                mean_length: batch_len / batch as f64,
+            };
+            on_batch(&s);
+            stats.push(s);
+        }
+        stats
+    }
+}
+
+fn sample_from(probs: &[f64], rng: &mut rand::rngs::StdRng) -> usize {
+    use rand::Rng;
+    let roll: f64 = rng.gen_range(0.0..1.0);
+    let mut acc = 0.0;
+    for (a, p) in probs.iter().enumerate() {
+        acc += p;
+        if roll < acc {
+            return a;
+        }
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A contextual bandit: the best arm depends on the (binary) state.
+    struct ContextBandit {
+        state: f64,
+        pulls: u32,
+        flip: bool,
+    }
+
+    impl Env for ContextBandit {
+        fn state_dim(&self) -> usize {
+            1
+        }
+        fn action_count(&self) -> usize {
+            2
+        }
+        fn reset(&mut self) -> Vec<f64> {
+            self.flip = !self.flip;
+            self.state = if self.flip { 1.0 } else { -1.0 };
+            self.pulls = 0;
+            vec![self.state]
+        }
+        fn step(&mut self, action: usize) -> (Vec<f64>, f64, bool) {
+            self.pulls += 1;
+            // State +1 → arm 0 pays; state −1 → arm 1 pays.
+            let pay = if (self.state > 0.0 && action == 0) || (self.state < 0.0 && action == 1) {
+                1.0
+            } else {
+                0.0
+            };
+            (vec![self.state], pay, self.pulls >= 3)
+        }
+    }
+
+    #[test]
+    fn learns_context_dependent_actions() {
+        let mut policy = PolicyNet::new(1, 16, 2, 5);
+        let trainer = ReinforceTrainer {
+            episodes: 600,
+            batch_size: 6,
+            learning_rate: 0.1,
+            ..Default::default()
+        };
+        let mut env = ContextBandit {
+            state: 1.0,
+            pulls: 0,
+            flip: false,
+        };
+        let stats = trainer.train(&mut policy, &mut env);
+        assert!(!stats.is_empty());
+        assert_eq!(policy.best_action(&[1.0]), 0);
+        assert_eq!(policy.best_action(&[-1.0]), 1);
+        // Returns improved over training.
+        let first: f64 = stats[..10].iter().map(|s| s.mean_return).sum::<f64>() / 10.0;
+        let last: f64 = stats[stats.len() - 10..]
+            .iter()
+            .map(|s| s.mean_return)
+            .sum::<f64>()
+            / 10.0;
+        assert!(
+            last > first + 0.3,
+            "returns should rise: {first:.2} → {last:.2}"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let mk = || {
+            let mut policy = PolicyNet::new(1, 16, 2, 5);
+            let trainer = ReinforceTrainer {
+                episodes: 60,
+                ..Default::default()
+            };
+            let mut env = ContextBandit {
+                state: 1.0,
+                pulls: 0,
+                flip: false,
+            };
+            trainer.train(&mut policy, &mut env);
+            policy
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn episode_budget_is_respected() {
+        let mut policy = PolicyNet::new(1, 16, 2, 5);
+        let trainer = ReinforceTrainer {
+            episodes: 10,
+            batch_size: 4,
+            ..Default::default()
+        };
+        let mut env = ContextBandit {
+            state: 1.0,
+            pulls: 0,
+            flip: false,
+        };
+        let stats = trainer.train(&mut policy, &mut env);
+        assert_eq!(stats.last().unwrap().episodes, 10);
+        // Batches of 4, 4, 2.
+        assert_eq!(stats.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "action mismatch")]
+    fn mismatched_env_panics() {
+        let mut policy = PolicyNet::new(1, 16, 5, 0);
+        let mut env = ContextBandit {
+            state: 1.0,
+            pulls: 0,
+            flip: false,
+        };
+        ReinforceTrainer::default().train(&mut policy, &mut env);
+    }
+}

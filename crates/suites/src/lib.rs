@@ -1,0 +1,213 @@
+//! Benchmark suites: synthetic PARSEC-like and BEEBS-like programs.
+//!
+//! The MLComp paper evaluates on PARSEC (x86) and BEEBS (RISC-V). Source
+//! distribution and build harnesses for those suites are outside this
+//! reproduction's reach, so each benchmark is re-expressed as an IR
+//! program capturing the original's *dominant computational pattern* —
+//! `blackscholes` is a closed-form option-pricing loop over exp/log/sqrt,
+//! `crc32` is a table-driven shift/xor loop, `jfdctint` is a
+//! constant-trip-count integer DCT, and so on (DESIGN.md §2).
+//!
+//! Each program:
+//! * takes one `i64` scale argument and returns an `i64` checksum, so
+//!   behaviour preservation under optimization is machine-checkable;
+//! * is built in deliberately unoptimized (`-O0`-like) form — locals as
+//!   allocas, non-rotated loops, no inlining — leaving the full
+//!   optimization surface for the phases;
+//! * avoids traps (division guards, in-bounds indices) for every
+//!   non-negative scale.
+//!
+//! # Example
+//!
+//! ```
+//! use mlcomp_suites::{parsec_suite, Suite};
+//! let progs = parsec_suite();
+//! assert_eq!(progs.len(), 13);
+//! assert!(progs.iter().all(|p| p.suite == Suite::Parsec));
+//! let bs = &progs[0];
+//! let out = bs.run_default().unwrap();
+//! assert_eq!(out, bs.run_default().unwrap()); // deterministic
+//! ```
+
+pub mod beebs;
+pub mod parsec;
+
+use mlcomp_ir::{ExecError, FunctionBuilder, Interpreter, Module, RtVal, Type, Value};
+
+/// Which benchmark family a program belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// PARSEC-like multiprogram workloads (paper: x86 target).
+    Parsec,
+    /// BEEBS-like embedded kernels (paper: RISC-V target).
+    Beebs,
+}
+
+/// A benchmark program: a module plus its standard workload.
+#[derive(Debug, Clone)]
+pub struct BenchProgram {
+    /// Benchmark name (matching the original suite's program).
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// The unoptimized module.
+    pub module: Module,
+    /// Entry function name (always `main`).
+    pub entry: &'static str,
+    /// Default scale argument for profiling runs.
+    pub default_scale: i64,
+}
+
+impl BenchProgram {
+    /// Workload arguments for the default scale.
+    pub fn default_args(&self) -> Vec<RtVal> {
+        vec![RtVal::I(self.default_scale)]
+    }
+
+    /// Executes the (current) module with the default workload and returns
+    /// the checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the program traps — which would indicate a
+    /// bug in the suite or in an optimization phase applied to it.
+    pub fn run_default(&self) -> Result<i64, ExecError> {
+        let entry = self
+            .module
+            .find_function(self.entry)
+            .ok_or(ExecError::BadCall {
+                target: self.entry.to_string(),
+            })?;
+        let out = Interpreter::new(&self.module).run(entry, &self.default_args())?;
+        Ok(match out.ret {
+            Some(RtVal::I(v)) => v,
+            Some(RtVal::F(v)) => v.to_bits() as i64,
+            None => 0,
+        })
+    }
+}
+
+/// All 13 PARSEC-like programs.
+pub fn parsec_suite() -> Vec<BenchProgram> {
+    parsec::all()
+}
+
+/// All 24 BEEBS-like programs.
+pub fn beebs_suite() -> Vec<BenchProgram> {
+    beebs::all()
+}
+
+/// Looks up one program by name across both suites.
+pub fn program(name: &str) -> Option<BenchProgram> {
+    parsec_suite()
+        .into_iter()
+        .chain(beebs_suite())
+        .find(|p| p.name == name)
+}
+
+// ---------------------------------------------------------------------
+// Shared builder idioms.
+// ---------------------------------------------------------------------
+
+/// Emits an inline LCG step: `state = state * A + C` through a memory
+/// cell, returning a non-negative pseudo-random value derived from it.
+/// This is the deterministic stand-in for the benchmarks' input data.
+pub(crate) fn lcg_step(b: &mut FunctionBuilder<'_>, state: Value) -> Value {
+    let s = b.load(state, Type::I64);
+    let a = b.mul(s, b.const_i64(6364136223846793005));
+    let n = b.add(a, b.const_i64(1442695040888963407));
+    b.store(state, n);
+    let sh = b.lshr(n, b.const_i64(33));
+    b.and(sh, b.const_i64(0x7FFF_FFFF))
+}
+
+/// Converts a non-negative integer into a float in `[0, 1)` by masking to
+/// 10 bits and scaling.
+pub(crate) fn unit_float(b: &mut FunctionBuilder<'_>, x: Value) -> Value {
+    let m = b.and(x, b.const_i64(1023));
+    let f = b.cast(mlcomp_ir::CastOp::SiToFp, m, Type::F64);
+    b.fmul(f, b.const_f64(1.0 / 1024.0))
+}
+
+/// Folds an `f64` into the running `i64` checksum cell: scales it to fixed
+/// point first so small numeric noise does not change results (the value
+/// flows through deterministic IEEE ops, so it is exactly reproducible).
+pub(crate) fn accumulate_f64(b: &mut FunctionBuilder<'_>, acc: Value, v: Value) {
+    let scaled = b.fmul(v, b.const_f64(4096.0));
+    let i = b.cast(mlcomp_ir::CastOp::FpToSi, scaled, Type::I64);
+    let cur = b.load(acc, Type::I64);
+    let x = b.xor(cur, i);
+    let rot = b.mul(x, b.const_i64(31));
+    let nxt = b.add(rot, b.const_i64(1));
+    b.store(acc, nxt);
+}
+
+/// Folds an `i64` into the running checksum cell.
+pub(crate) fn accumulate_i64(b: &mut FunctionBuilder<'_>, acc: Value, v: Value) {
+    let cur = b.load(acc, Type::I64);
+    let x = b.xor(cur, v);
+    let rot = b.mul(x, b.const_i64(1099511628211));
+    b.store(acc, rot);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(parsec_suite().len(), 13);
+        assert_eq!(beebs_suite().len(), 24);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = parsec_suite()
+            .iter()
+            .chain(beebs_suite().iter())
+            .map(|p| p.name)
+            .collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(program("blackscholes").is_some());
+        assert!(program("crc32").is_some());
+        assert!(program("quake3").is_none());
+    }
+
+    #[test]
+    fn every_program_verifies_and_runs() {
+        for p in parsec_suite().into_iter().chain(beebs_suite()) {
+            mlcomp_ir::verify(&p.module)
+                .unwrap_or_else(|e| panic!("{} has invalid IR: {e}", p.name));
+            p.run_default()
+                .unwrap_or_else(|e| panic!("{} failed to execute: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn programs_are_deterministic() {
+        for p in parsec_suite().into_iter().take(3) {
+            assert_eq!(p.run_default().unwrap(), p.run_default().unwrap());
+        }
+    }
+
+    #[test]
+    fn programs_have_optimization_surface() {
+        // Unoptimized programs must expose allocas and loops.
+        for p in parsec_suite().into_iter().chain(beebs_suite()) {
+            let feats = mlcomp_features::extract(&p.module);
+            assert!(
+                feats.get("n_alloca") >= 1.0,
+                "{} should have promotable locals",
+                p.name
+            );
+            assert!(feats.get("n_loops") >= 1.0, "{} should loop", p.name);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: run the full MLComp methodology on a small application set
+//! and optimize one program with the trained Phase Sequence Selector.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mlcomp::core::{Mlcomp, MlcompConfig};
+use mlcomp::platform::{Profiler, Workload, X86Platform};
+
+fn main() {
+    // Target platform + application domain (three PARSEC-like programs).
+    let platform = X86Platform::new();
+    let apps: Vec<_> = mlcomp::suites::parsec_suite()
+        .into_iter()
+        .filter(|p| ["dedup", "vips", "x264"].contains(&p.name))
+        .collect();
+
+    println!("=== MLComp quickstart ===");
+    println!(
+        "platform: x86 | apps: {:?}",
+        apps.iter().map(|a| a.name).collect::<Vec<_>>()
+    );
+
+    // Steps ①–④: extraction → PE → PSS → deployable selector.
+    let artifacts = Mlcomp::new(MlcompConfig::quick())
+        .run(&platform, &apps)
+        .expect("pipeline runs");
+
+    println!("\nPerformance Estimator (per-metric winning pipeline):");
+    print!("{}", artifacts.estimator.report());
+
+    println!("\nOptimizing each app with the trained selector:");
+    let profiler = Profiler::new(&platform);
+    for app in &apps {
+        let (optimized, phases) = artifacts.selector.optimize(&app.module);
+        let w = Workload::new(app.entry, app.default_args());
+        let base = profiler.profile(&app.module, &w).expect("baseline runs");
+        let tuned = profiler.profile(&optimized, &w).expect("optimized runs");
+        println!(
+            "  {:<14} {:>2} phases | time {:>7.3}ms → {:>7.3}ms ({:+.1}%) | first phases: {:?}",
+            app.name,
+            phases.len(),
+            base.exec_time_s * 1e3,
+            tuned.exec_time_s * 1e3,
+            (tuned.exec_time_s / base.exec_time_s - 1.0) * 100.0,
+            &phases[..phases.len().min(5)],
+        );
+    }
+}

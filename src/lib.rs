@@ -1,0 +1,29 @@
+//! MLComp — reproduction of "MLComp: A Methodology for Machine
+//! Learning-based Performance Estimation and Adaptive Selection of
+//! Pareto-Optimal Compiler Optimization Sequences" (DATE 2021).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`ir`] — the SSA compiler IR and profiling interpreter;
+//! * [`passes`] — the 48 Table-VI optimization phases and pass manager;
+//! * [`features`] — 63 Milepost-style static code features;
+//! * [`platform`] — x86 and RISC-V cost models and the profiler;
+//! * [`suites`] — PARSEC-like and BEEBS-like benchmark programs;
+//! * [`linalg`] — dense linear algebra for the ML stack;
+//! * [`ml`] — preprocessing, the regression model zoo and model search;
+//! * [`rl`] — REINFORCE policy-gradient learning;
+//! * [`core`] — the MLComp methodology itself (data extraction,
+//!   Performance Estimator, Phase Selection Policy, deployment).
+//!
+//! See the repository README for a quickstart and `DESIGN.md` for the
+//! system inventory.
+
+pub use mlcomp_core as core;
+pub use mlcomp_features as features;
+pub use mlcomp_ir as ir;
+pub use mlcomp_linalg as linalg;
+pub use mlcomp_ml as ml;
+pub use mlcomp_passes as passes;
+pub use mlcomp_platform as platform;
+pub use mlcomp_rl as rl;
+pub use mlcomp_suites as suites;

@@ -1,0 +1,117 @@
+//! Cross-crate integration: the full MLComp methodology on both target
+//! platforms, serialization round-trips, and determinism.
+
+use mlcomp::core::{Mlcomp, MlcompConfig, PhaseSequenceSelector};
+use mlcomp::platform::{Profiler, RiscVPlatform, TargetPlatform, Workload, X86Platform};
+use mlcomp::suites::BenchProgram;
+
+fn quick_config() -> MlcompConfig {
+    let mut c = MlcompConfig::quick();
+    c.pss.episodes = 32;
+    c
+}
+
+fn apps(names: &[&str]) -> Vec<BenchProgram> {
+    mlcomp::suites::parsec_suite()
+        .into_iter()
+        .chain(mlcomp::suites::beebs_suite())
+        .filter(|p| names.contains(&p.name))
+        .collect()
+}
+
+fn assert_pipeline_works<P: TargetPlatform>(platform: &P, names: &[&str]) {
+    let apps = apps(names);
+    let artifacts = Mlcomp::new(quick_config())
+        .run(platform, &apps)
+        .expect("pipeline runs");
+    // Dataset sane.
+    assert!(artifacts.dataset.len() >= names.len() * 5);
+    assert_eq!(artifacts.dataset.platform, platform.name());
+    // PE trained for all four metrics with positive accuracy.
+    assert_eq!(artifacts.estimator.report().rows.len(), 4);
+    for (metric, _, _, acc, _) in &artifacts.estimator.report().rows {
+        assert!(*acc > 0.0, "{metric} accuracy {acc}");
+    }
+    // Selector optimizes without breaking programs.
+    let profiler = Profiler::new(platform);
+    let mut base_total = 0.0;
+    let mut tuned_total = 0.0;
+    for app in &apps {
+        let (opt, phases) = artifacts.selector.optimize(&app.module);
+        assert!(phases.len() <= artifacts.selector.config.max_seq_len);
+        mlcomp::ir::verify(&opt).expect("optimized module is valid IR");
+        let w = Workload::new(app.entry, app.default_args());
+        let base = profiler.profile(&app.module, &w).expect("base profile");
+        let tuned = profiler.profile(&opt, &w).expect("tuned profile");
+        base_total += base.exec_time_s;
+        tuned_total += tuned.exec_time_s;
+    }
+    assert!(
+        tuned_total < base_total,
+        "{}: selector should improve total time ({tuned_total} vs {base_total})",
+        platform.name()
+    );
+}
+
+#[test]
+fn full_pipeline_x86_parsec() {
+    assert_pipeline_works(&X86Platform::new(), &["dedup", "vips"]);
+}
+
+#[test]
+fn full_pipeline_riscv_beebs() {
+    assert_pipeline_works(&RiscVPlatform::new(), &["crc32", "fir"]);
+}
+
+#[test]
+fn selector_roundtrips_through_json() {
+    let platform = X86Platform::new();
+    let apps = apps(&["x264"]);
+    let artifacts = Mlcomp::new(quick_config())
+        .run(&platform, &apps)
+        .expect("pipeline runs");
+    let json = artifacts.selector.to_json().expect("serializes");
+    let reloaded = PhaseSequenceSelector::from_json(&json).expect("deserializes");
+    let (m1, p1) = artifacts.selector.optimize(&apps[0].module);
+    let (m2, p2) = reloaded.optimize(&apps[0].module);
+    assert_eq!(p1, p2, "identical phase decisions after reload");
+    assert_eq!(m1, m2, "identical optimized modules after reload");
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let platform = RiscVPlatform::new();
+    let a1 = Mlcomp::new(quick_config())
+        .run(&platform, &apps(&["prime"]))
+        .expect("run 1");
+    let a2 = Mlcomp::new(quick_config())
+        .run(&platform, &apps(&["prime"]))
+        .expect("run 2");
+    assert_eq!(a1.dataset, a2.dataset, "extraction is seeded");
+    let (_, p1) = a1.selector.optimize(&apps(&["prime"])[0].module);
+    let (_, p2) = a2.selector.optimize(&apps(&["prime"])[0].module);
+    assert_eq!(p1, p2, "training is seeded");
+}
+
+#[test]
+fn dataset_serializes() {
+    let platform = X86Platform::new();
+    let apps = apps(&["dedup"]);
+    let ds = mlcomp::core::DataExtraction::quick()
+        .run(&platform, &apps)
+        .expect("extraction runs");
+    let json = serde_json::to_string(&ds).expect("dataset serializes");
+    let back: mlcomp::core::Dataset = serde_json::from_str(&json).expect("deserializes");
+    // Structure and exact fields round-trip; metric floats survive to
+    // within JSON printing precision.
+    assert_eq!(ds.platform, back.platform);
+    assert_eq!(ds.len(), back.len());
+    for (a, b) in ds.samples.iter().zip(&back.samples) {
+        assert_eq!(a.app, b.app);
+        assert_eq!(a.sequence, b.sequence);
+        assert_eq!(a.features, b.features);
+        for (x, y) in a.metrics.as_array().iter().zip(b.metrics.as_array()) {
+            assert!((x - y).abs() <= x.abs() * 1e-12);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The compiler-correctness backbone: every Table VI phase — alone, in
+//! random sequences, and in the standard pipelines — must preserve the
+//! observable behaviour (checksum) of every benchmark program and keep the
+//! IR verifier-clean.
+
+use mlcomp::passes::{registry, PassManager, PipelineLevel};
+use mlcomp::suites::BenchProgram;
+use proptest::prelude::*;
+
+fn sample_programs() -> Vec<BenchProgram> {
+    // A structurally diverse subset (loops, recursion, floats, switches,
+    // globals) keeps the test fast while covering the IR surface.
+    let names = [
+        "blackscholes",
+        "fluidanimate",
+        "dedup",
+        "crc32",
+        "fibcall",
+        "qsort",
+        "nsichneu",
+        "minver",
+    ];
+    mlcomp::suites::parsec_suite()
+        .into_iter()
+        .chain(mlcomp::suites::beebs_suite())
+        .filter(|p| names.contains(&p.name))
+        .collect()
+}
+
+#[test]
+fn every_single_phase_preserves_behaviour() {
+    let pm = PassManager::verifying();
+    for program in sample_programs() {
+        let reference = program.run_default().expect("baseline executes");
+        for phase in registry::all_phase_names() {
+            let mut variant = program.clone();
+            pm.run_phase(&mut variant.module, phase)
+                .expect("phase exists");
+            let got = variant
+                .run_default()
+                .unwrap_or_else(|e| panic!("{}/{phase} trapped: {e}", program.name));
+            assert_eq!(
+                got, reference,
+                "{}: phase `{phase}` changed the checksum",
+                program.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_phase_is_deterministic() {
+    // Hash-map iteration order must never leak into the produced IR:
+    // applying the same phase to the same module twice (fresh container
+    // states each time) must yield *identical* modules, arena order
+    // included — the property that makes trained-selector reloads and
+    // dataset extraction bit-reproducible.
+    let pm = PassManager::new();
+    for program in sample_programs() {
+        for phase in registry::all_phase_names() {
+            let mut a = program.module.clone();
+            let mut b = program.module.clone();
+            pm.run_phase(&mut a, phase).expect("phase exists");
+            pm.run_phase(&mut b, phase).expect("phase exists");
+            assert_eq!(
+                a, b,
+                "{}: phase `{phase}` is nondeterministic",
+                program.name
+            );
+        }
+        // And the composed -O3 pipeline.
+        let mut a = program.module.clone();
+        let mut b = program.module.clone();
+        pm.run_level(&mut a, PipelineLevel::O3);
+        pm.run_level(&mut b, PipelineLevel::O3);
+        assert_eq!(a, b, "{}: -O3 is nondeterministic", program.name);
+    }
+}
+
+#[test]
+fn standard_pipelines_preserve_behaviour_everywhere() {
+    let pm = PassManager::verifying();
+    for program in mlcomp::suites::parsec_suite()
+        .into_iter()
+        .chain(mlcomp::suites::beebs_suite())
+    {
+        let reference = program.run_default().expect("baseline executes");
+        for level in PipelineLevel::ALL {
+            let mut variant = program.clone();
+            pm.run_level(&mut variant.module, level);
+            let got = variant
+                .run_default()
+                .unwrap_or_else(|e| panic!("{}/{level} trapped: {e}", program.name));
+            assert_eq!(
+                got, reference,
+                "{}: {level} changed the checksum",
+                program.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random phase sequences over random programs: the MLComp search
+    /// space itself. Any checksum change or verifier failure here is a
+    /// miscompile the RL policy could stumble into.
+    #[test]
+    fn random_phase_sequences_are_sound(
+        program_idx in 0usize..8,
+        phase_indices in prop::collection::vec(0usize..registry::PHASE_COUNT, 1..14),
+    ) {
+        let programs = sample_programs();
+        let program = &programs[program_idx];
+        let reference = program.run_default().expect("baseline executes");
+        let pm = PassManager::verifying();
+        let mut variant = program.clone();
+        let names: Vec<&str> = phase_indices
+            .iter()
+            .map(|&i| registry::PHASE_NAMES[i])
+            .collect();
+        for phase in &names {
+            pm.run_phase(&mut variant.module, phase).expect("phase exists");
+        }
+        let got = variant
+            .run_default()
+            .unwrap_or_else(|e| panic!("{} under {names:?} trapped: {e}", program.name));
+        prop_assert_eq!(
+            got,
+            reference,
+            "{} miscompiled by {:?}",
+            program.name,
+            names
+        );
+    }
+}
