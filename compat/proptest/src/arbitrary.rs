@@ -1,0 +1,65 @@
+//! `any::<T>()`: the default strategy of a type, with edge-case emphasis.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Types with a canonical [`Strategy`].
+pub trait Arbitrary: Sized {
+    /// Draws one value, mixing uniform samples with type-specific edge
+    /// cases (zero, extremes) at roughly a 1-in-4 rate — compensating for
+    /// the lack of shrinking by making boundary inputs common.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// The canonical strategy for `A` (`any::<i64>()`, `any::<bool>()`, …).
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug)]
+pub struct AnyStrategy<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+
+    fn sample(&self, rng: &mut StdRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                const SPECIALS: [$t; 5] = [0, 1, <$t>::MAX, <$t>::MIN, <$t>::MAX / 2];
+                match rng.next_u64() % 8 {
+                    0 => SPECIALS[(rng.next_u64() % SPECIALS.len() as u64) as usize],
+                    // Small magnitudes hit carry/borrow boundaries often.
+                    1 => (rng.next_u64() % 16) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        match rng.next_u64() % 8 {
+            0 => *[0.0, -0.0, 1.0, -1.0, f64::MAX, f64::MIN_POSITIVE]
+                .get((rng.next_u64() % 6) as usize)
+                .unwrap(),
+            _ => crate::num::f64::sample_normal(rng),
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Workspace-local stand-in for [`proptest`](https://proptest-rs.github.io/proptest/).
+//!
+//! The offline build environment cannot fetch the real crate, so this
+//! reimplements the subset the workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
+//! range and [`collection::vec`]/[`sample::select`] strategies,
+//! [`arbitrary::any`], and [`num::f64::NORMAL`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the assert
+//!   message) and the deterministic case index instead of minimizing.
+//! * **Deterministic cases.** Case `i` of test `t` is seeded from
+//!   `hash(module_path::t, i)`, so failures reproduce exactly across runs
+//!   and machines — there is no `PROPTEST_` environment handling.
+//! * Every strategy samples eagerly; `Strategy` is just
+//!   "value generator with an RNG", not a lazy value tree.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the workspace's `use proptest::prelude::*` expects.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// The `prop::` module namespace (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property tests. Each `#[test]` inside runs
+/// `ProptestConfig::cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::sample(
+                            &($strat), &mut __rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__e) = __result {
+                    panic!("proptest case #{} of {} failed:\n{}",
+                           __case, stringify!($name), __e);
+                }
+            }
+        }
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`", __l, __r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __l, __r, ::std::format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// (Upstream resamples; this stand-in counts the case as passed.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

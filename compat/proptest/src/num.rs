@@ -1,0 +1,38 @@
+//! Numeric strategies (`prop::num::f64::NORMAL`).
+
+/// `f64`-specific strategies.
+///
+/// Inside this module the name `f64` resolves to the module itself, so the
+/// primitive is spelled via `core::primitive`.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use core::primitive::f64 as F64;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for *normal* floats: finite, non-NaN, non-subnormal.
+    /// Spans the full normal exponent range, both signs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    /// The canonical instance, mirroring `proptest::num::f64::NORMAL`.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = F64;
+
+        fn sample(&self, rng: &mut StdRng) -> F64 {
+            sample_normal(rng)
+        }
+    }
+
+    /// Draws one normal double by direct bit construction: a random sign
+    /// and mantissa with a biased exponent in `1..=2046` (never 0 =
+    /// zero/subnormal, never 2047 = inf/NaN).
+    pub fn sample_normal(rng: &mut StdRng) -> F64 {
+        let sign = rng.next_u64() & (1 << 63);
+        let exponent: u64 = rng.gen_range(1u64..=2046);
+        let mantissa = rng.next_u64() & ((1 << 52) - 1);
+        F64::from_bits(sign | (exponent << 52) | mantissa)
+    }
+}

@@ -1,0 +1,25 @@
+//! Choice strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// A strategy drawing uniformly from a fixed list of options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.options.choose(rng).expect("non-empty options").clone()
+    }
+}

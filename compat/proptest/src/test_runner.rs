@@ -1,0 +1,40 @@
+//! Test-case configuration and deterministic per-case RNG seeding.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A failed property-test case, carrying the assertion message.
+pub type TestCaseError = String;
+
+/// Run configuration; only `cases` is honoured by this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            // Upstream defaults to 256; 64 keeps the heavier interpreter-
+            // driven property tests inside the tier-1 time budget while
+            // still exercising the edge-case samplers well.
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// The RNG for case `case` of the named test: FNV-1a over the fully
+/// qualified test name, mixed with the case index. Stable across runs,
+/// machines and thread counts.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}

@@ -1,0 +1,277 @@
+//! Workspace-local stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The build environment cannot reach crates.io, so the real `serde` (and
+//! its `syn`/`quote`-based derive) is unavailable. This crate provides the
+//! subset the workspace relies on with a deliberately simpler data model:
+//! values serialize into an in-memory JSON [`Value`] tree and deserialize
+//! back out of one. The companion [`serde_json`] crate handles the
+//! text ⇄ [`Value`] conversion, and the [`serde_derive`] proc-macro crate
+//! generates [`Serialize`]/[`Deserialize`] impls for structs and enums,
+//! including `#[serde(with = "path")]` field overrides.
+//!
+//! Design notes:
+//!
+//! * Objects preserve insertion order, so serialization is byte-stable —
+//!   a property the parallel-extraction determinism tests depend on.
+//! * Integers are kept exact ([`Value::Int`]/[`Value::UInt`]); `f64` bit
+//!   patterns round-trip losslessly through
+//!   `mlcomp_linalg::serde_bits`-style `u64` encoding.
+//! * Enum encoding matches upstream serde's externally-tagged JSON layout
+//!   (`"Variant"`, `{"Variant": value}`, `{"Variant": [..]}` or
+//!   `{"Variant": {..}}`), so artifacts stay readable.
+//!
+//! [`serde_json`]: ../serde_json/index.html
+//! [`serde_derive`]: ../serde_derive/index.html
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Object, Value};
+
+use std::fmt;
+
+/// A (de)serialization error: a plain message, matching the only way the
+/// workspace consumes errors (formatting them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error { msg: m.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into the JSON [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from the JSON [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reads `Self` back out of a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match `Self`.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self;
+                if (v as i128) >= 0 && (v as i128) > i64::MAX as i128 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let wide: i128 = match *v {
+                    Value::Int(i) => i as i128,
+                    Value::UInt(u) => u as i128,
+                    _ => return Err(Error::msg(format!(
+                        "expected integer, found {}", v.kind()
+                    ))),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::msg(format!(
+                    "integer {wide} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    // serde_json emits `null` for non-finite floats.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(Error::msg(format!(
+                        "expected number, found {}", v.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::msg(format!("expected bool, found {}", v.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::msg(format!("expected string, found {}", v.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::msg(format!("expected array, found {}", v.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let Value::Array(items) = v else {
+            return Err(Error::msg(format!("expected array, found {}", v.kind())));
+        };
+        if items.len() != N {
+            return Err(Error::msg(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::deserialize(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::msg(format!("expected array, found {}", v.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal, $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let Value::Array(items) = v else {
+                    return Err(Error::msg(format!(
+                        "expected array, found {}", v.kind()
+                    )));
+                };
+                if items.len() != $len {
+                    return Err(Error::msg(format!(
+                        "expected tuple of length {}, found {}", $len, items.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1, A.0);
+impl_tuple!(2, A.0, B.1);
+impl_tuple!(3, A.0, B.1, C.2);
+impl_tuple!(4, A.0, B.1, C.2, D.3);

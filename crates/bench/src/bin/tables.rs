@@ -25,8 +25,8 @@ fn main() {
     if show(1) {
         println!("== Table I — ML-based phase selection policies ==");
         println!(
-            "{:<14} {:<10} {:<6} {:<8} {:<6} {:<9} {}",
-            "Solution", "Technique", "Time", "Energy", "Size", "Ordering", "Features"
+            "{:<14} {:<10} {:<6} {:<8} {:<6} {:<9} Features",
+            "Solution", "Technique", "Time", "Energy", "Size", "Ordering"
         );
         for (s, t, ti, en, sz, or, fe) in [
             ("COBAYN", "SL", "x", "", "", "No", "Profiling"),

@@ -146,7 +146,7 @@ pub struct PeExperiment {
 
 /// Runs extraction + Algorithm 1 and collects the profiled/predicted
 /// distribution pairs of Figs. 4/6.
-pub fn pe_experiment<P: TargetPlatform + ?Sized>(
+pub fn pe_experiment<P: TargetPlatform + Sync + ?Sized>(
     platform: &P,
     apps: &[BenchProgram],
     extraction: &DataExtraction,
@@ -204,7 +204,7 @@ pub struct PssExperiment {
 
 /// Runs the full pipeline and validates the trained selector against every
 /// standard level, relative to unoptimized code (Figs. 5/7).
-pub fn pss_experiment<P: TargetPlatform + ?Sized>(
+pub fn pss_experiment<P: TargetPlatform + Sync + ?Sized>(
     platform: &P,
     apps: &[BenchProgram],
     config: MlcompConfig,

@@ -1,15 +1,44 @@
 //! Data Extraction (box ① of Fig. 2): explore phase permutations per
 //! application, compile each variant, collect static features and profile
 //! the dynamic metrics.
+//!
+//! # How the knobs map onto the paper
+//!
+//! | Config field | Paper reference | Role |
+//! |---|---|---|
+//! | [`variants_per_app`](DataExtraction::variants_per_app) | §IV-B, Fig. 2 box ① | Phase-sequence variants compiled and profiled per application. The paper collects 200–600 data points per platform; `13 apps × 30` (PARSEC, [`Default`]) and `24 × 20` (BEEBS, [`DataExtraction::beebs_default`]) land inside that range. |
+//! | [`min_phases`](DataExtraction::min_phases) / [`max_phases`](DataExtraction::max_phases) | Table VI | Length range of the random permutations drawn from the phase registry (the Table VI pass list). |
+//! | [`seed`](DataExtraction::seed) | §IV-B | Root of *all* extraction randomness. Every `(app, variant)` work item derives its own RNG stream from `(seed, app name, variant index)`, so the dataset is a pure function of this value — independent of thread count, scheduling, and cache hits. |
+//! | [`noise`](DataExtraction::noise) | §IV-A (RAPL / hardware counters) | Relative jitter applied to the measured time/energy, emulating real profiling variance. Seeded per `(app, sequence)`, so repeated measurements of the same variant agree. |
+//! | [`num_threads`](DataExtraction::num_threads) | — (this reproduction) | Fan-out width of the worker pool; `0` = host parallelism. Results are bit-identical at any value. |
+//!
+//! The first three variants of every application are fixed anchors —
+//! unoptimized, `-O2` and `-O3` — mirroring the baselines the paper's
+//! tables compare against; the remainder are random permutations.
+//!
+//! # Parallel execution
+//!
+//! Extraction fans out at `(app, variant)` granularity on a
+//! [`mlcomp_parallel::WorkerPool`] and deduplicates compile+profile work
+//! through a [`mlcomp_parallel::MemoCache`] keyed by `(app, canonical
+//! phase sequence)` — random permutations collide often at small
+//! [`max_phases`](DataExtraction::max_phases), and anchors repeat across
+//! runs. See `DESIGN.md` for why per-variant seed derivation keeps the
+//! output byte-identical to a sequential run.
 
 use crate::dataset::{Dataset, Sample};
+use mlcomp_parallel::{seed, MemoCache, WorkerPool};
 use mlcomp_passes::{registry, PassManager};
-use mlcomp_platform::{Profiler, TargetPlatform, Workload};
+use mlcomp_platform::{DynamicFeatures, Profiler, TargetPlatform, Workload};
 use mlcomp_suites::BenchProgram;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use std::fmt;
+
+/// Result of compiling and profiling one phase sequence: the static+dynamic
+/// feature vector and the measured metrics, or the failure reason.
+type ProfileOutcome = Result<(Vec<f64>, DynamicFeatures), String>;
 
 /// Data extraction failed for every sampled variant of some application.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +76,9 @@ pub struct DataExtraction {
     pub seed: u64,
     /// Relative profiling noise (RAPL-style jitter); 0 = exact.
     pub noise: f64,
+    /// Worker threads for the `(app, variant)` fan-out; 0 = host
+    /// parallelism. The produced [`Dataset`] is identical at any value.
+    pub num_threads: usize,
 }
 
 impl Default for DataExtraction {
@@ -57,6 +89,7 @@ impl Default for DataExtraction {
             max_phases: 24,
             seed: 0xDA7A,
             noise: 0.0,
+            num_threads: 0,
         }
     }
 }
@@ -87,65 +120,76 @@ impl DataExtraction {
     /// sequences hitting interpreter limits) are skipped; the error is
     /// returned only if *every* variant of an app fails.
     ///
+    /// Work is distributed over [`num_threads`](DataExtraction::num_threads)
+    /// workers; each `(app, variant)` item derives its RNG stream from its
+    /// identity, so the resulting [`Dataset`] — including sample order —
+    /// is byte-identical regardless of thread count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mlcomp_core::DataExtraction;
+    /// use mlcomp_platform::X86Platform;
+    ///
+    /// let apps: Vec<_> = mlcomp_suites::beebs_suite()
+    ///     .into_iter()
+    ///     .filter(|p| p.name == "crc32")
+    ///     .collect();
+    /// let config = DataExtraction { variants_per_app: 4, max_phases: 6, ..DataExtraction::quick() };
+    /// let dataset = config.run(&X86Platform::new(), &apps).unwrap();
+    /// assert_eq!(dataset.len(), 4);
+    ///
+    /// // Same seed, different thread count → byte-identical dataset.
+    /// let wide = DataExtraction { num_threads: 8, ..config }.run(&X86Platform::new(), &apps);
+    /// assert_eq!(dataset, wide.unwrap());
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`ExtractionError`] when an application yields no samples.
-    pub fn run<P: TargetPlatform + ?Sized>(
+    pub fn run<P: TargetPlatform + Sync + ?Sized>(
         &self,
         platform: &P,
         apps: &[BenchProgram],
     ) -> Result<Dataset, ExtractionError> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
-        let pm = PassManager::new();
         let phases = registry::all_phase_names();
+        let pool = WorkerPool::new(self.num_threads);
+        // One work item per (app, variant); the pool returns results in
+        // item order, which is exactly the sequential sample order.
+        let items: Vec<(usize, usize)> = (0..apps.len())
+            .flat_map(|a| (0..self.variants_per_app).map(move |v| (a, v)))
+            .collect();
+        // Compile+profile outcomes are pure functions of (app, sequence):
+        // duplicate sequences — frequent for random permutations at small
+        // max_phases — are computed once and served from the cache.
+        let cache: MemoCache<(usize, String), ProfileOutcome> = MemoCache::new();
+        let results = pool.map(&items, |_, &(a, v)| {
+            let app = &apps[a];
+            let sequence = self.variant_sequence(app, v, phases);
+            let canonical = sequence.join(" ");
+            let outcome = cache.get_or_insert_with((a, canonical), || {
+                self.compile_and_profile(platform, app, &sequence)
+            });
+            outcome.map(|(features, metrics)| Sample {
+                app: app.name.to_string(),
+                sequence,
+                features,
+                metrics,
+            })
+        });
+
         let mut dataset = Dataset {
             platform: platform.name().to_string(),
-            samples: Vec::new(),
+            samples: Vec::with_capacity(items.len()),
         };
+        let mut results = results.into_iter();
         for app in apps {
             let before = dataset.samples.len();
             let mut last_err = String::from("no variants attempted");
-            for v in 0..self.variants_per_app {
-                let sequence: Vec<String> = match v {
-                    0 => Vec::new(),
-                    1 => mlcomp_passes::PipelineLevel::O2
-                        .phases()
-                        .iter()
-                        .map(|s| s.to_string())
-                        .collect(),
-                    2 => mlcomp_passes::PipelineLevel::O3
-                        .phases()
-                        .iter()
-                        .map(|s| s.to_string())
-                        .collect(),
-                    _ => {
-                        let len = rng.gen_range(self.min_phases..=self.max_phases);
-                        (0..len)
-                            .map(|_| phases.choose(&mut rng).expect("registry non-empty").to_string())
-                            .collect()
-                    }
-                };
-                let mut module = app.module.clone();
-                for ph in &sequence {
-                    pm.run_phase(&mut module, ph)
-                        .expect("registry names are valid");
-                }
-                let features = mlcomp_features::extract(&module);
-                let profiler = if self.noise > 0.0 {
-                    Profiler::new(platform)
-                        .with_noise(self.noise, self.seed ^ (dataset.samples.len() as u64))
-                } else {
-                    Profiler::new(platform)
-                };
-                let workload = Workload::new(app.entry, app.default_args());
-                match profiler.profile(&module, &workload) {
-                    Ok(metrics) => dataset.samples.push(Sample {
-                        app: app.name.to_string(),
-                        sequence,
-                        features: features.values,
-                        metrics,
-                    }),
-                    Err(e) => last_err = e.to_string(),
+            for _ in 0..self.variants_per_app {
+                match results.next().expect("one result per item") {
+                    Ok(sample) => dataset.samples.push(sample),
+                    Err(e) => last_err = e,
                 }
             }
             if dataset.samples.len() == before {
@@ -156,6 +200,70 @@ impl DataExtraction {
             }
         }
         Ok(dataset)
+    }
+
+    /// The phase sequence of one variant: anchors for `v < 3`, then random
+    /// permutations drawn from an RNG seeded by the item's identity
+    /// `(seed, app, v)` — never from a shared sequential stream.
+    fn variant_sequence(&self, app: &BenchProgram, v: usize, phases: &[&'static str]) -> Vec<String> {
+        match v {
+            0 => Vec::new(),
+            1 => mlcomp_passes::PipelineLevel::O2
+                .phases()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            2 => mlcomp_passes::PipelineLevel::O3
+                .phases()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            _ => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed::item_seed(
+                    self.seed,
+                    app.name,
+                    v as u64,
+                ));
+                let len = rng.gen_range(self.min_phases..=self.max_phases);
+                (0..len)
+                    .map(|_| phases.choose(&mut rng).expect("registry non-empty").to_string())
+                    .collect()
+            }
+        }
+    }
+
+    /// Compiles `app` under `sequence` and profiles it: a pure function of
+    /// `(self, app, sequence)`, which is what makes it memoisable.
+    fn compile_and_profile<P: TargetPlatform + ?Sized>(
+        &self,
+        platform: &P,
+        app: &BenchProgram,
+        sequence: &[String],
+    ) -> ProfileOutcome {
+        let pm = PassManager::new();
+        let mut module = app.module.clone();
+        for ph in sequence {
+            pm.run_phase(&mut module, ph)
+                .expect("registry names are valid");
+        }
+        let features = mlcomp_features::extract(&module);
+        let profiler = if self.noise > 0.0 {
+            // Noise is seeded by (seed, app, sequence) — not by sample
+            // position — so repeated profiles of the same variant agree
+            // and the memo cache stays semantics-preserving.
+            let noise_seed = seed::combine(
+                seed::combine(self.seed, seed::hash_str(app.name)),
+                seed::hash_str(&sequence.join(" ")),
+            );
+            Profiler::new(platform).with_noise(self.noise, noise_seed)
+        } else {
+            Profiler::new(platform)
+        };
+        let workload = Workload::new(app.entry, app.default_args());
+        profiler
+            .profile(&module, &workload)
+            .map(|metrics| (features.values, metrics))
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -221,5 +329,27 @@ mod tests {
             noisy.targets("instructions"),
             "counts stay exact"
         );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_dataset() {
+        let platform = X86Platform::new();
+        let apps = two_apps();
+        let base = DataExtraction::quick();
+        let reference = DataExtraction {
+            num_threads: 1,
+            ..base.clone()
+        }
+        .run(&platform, &apps)
+        .unwrap();
+        for threads in [2, 4, 8] {
+            let ds = DataExtraction {
+                num_threads: threads,
+                ..base.clone()
+            }
+            .run(&platform, &apps)
+            .unwrap();
+            assert_eq!(reference, ds, "num_threads={threads}");
+        }
     }
 }

@@ -69,6 +69,16 @@ impl MlcompConfig {
             weights: RewardWeights::default(),
         }
     }
+
+    /// Sets the worker-thread count for both parallel stages — data
+    /// extraction and Algorithm 1's candidate evaluation. `0` means host
+    /// parallelism. Results are bit-identical at any value; see
+    /// `DESIGN.md`.
+    pub fn with_num_threads(mut self, num_threads: usize) -> MlcompConfig {
+        self.extraction.num_threads = num_threads;
+        self.search.num_threads = num_threads;
+        self
+    }
 }
 
 impl Default for MlcompConfig {
@@ -127,7 +137,7 @@ impl Mlcomp {
     ///
     /// Returns [`MlcompError`] when extraction produces no usable samples
     /// or the PE model search cannot fit any pipeline.
-    pub fn run<P: TargetPlatform + ?Sized>(
+    pub fn run<P: TargetPlatform + Sync + ?Sized>(
         &self,
         platform: &P,
         apps: &[BenchProgram],

@@ -653,8 +653,7 @@ impl<'m> Interpreter<'m> {
                         FuncId(raw as u32)
                     }
                 };
-                let r = self.call(target, vals, depth + 1)?;
-                r
+                self.call(target, vals, depth + 1)?
             }
             InstKind::Memset { ptr, value, count } => {
                 self.counts.mem_intrinsic += 1;
@@ -837,9 +836,7 @@ impl<'m> Interpreter<'m> {
         match op {
             CastOp::Trunc => RtVal::I(truncate_int(v.as_i(), to)),
             CastOp::Zext => {
-                let bits = match v.as_i() {
-                    x => x,
-                };
+                let bits = v.as_i();
                 // Zero-extension from I1/I32 source widths: the source was
                 // already truncated at creation, mask defensively.
                 RtVal::I(bits & mask_for(to))

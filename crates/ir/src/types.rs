@@ -19,9 +19,10 @@ use std::fmt;
 /// assert!(Type::I32.is_int());
 /// assert_eq!(Type::I1.bit_width(), Some(1));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Type {
     /// No value (function returns, store results).
+    #[default]
     Void,
     /// Boolean, the result of comparisons.
     I1,
@@ -66,12 +67,6 @@ impl Type {
     /// Returns `true` if a value of this type carries data (i.e. not `Void`).
     pub fn has_value(self) -> bool {
         self != Type::Void
-    }
-}
-
-impl Default for Type {
-    fn default() -> Self {
-        Type::Void
     }
 }
 

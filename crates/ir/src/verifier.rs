@@ -212,10 +212,8 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
             return Err(e);
         }
         match &blk.term {
-            Terminator::CondBr { cond, .. } => {
-                if f.value_type(*cond) != Type::I1 {
-                    return Err(err(Some(b), None, "condbr condition is not i1".into()));
-                }
+            Terminator::CondBr { cond, .. } if f.value_type(*cond) != Type::I1 => {
+                return Err(err(Some(b), None, "condbr condition is not i1".into()));
             }
             Terminator::Ret(v) => {
                 let got = v.map(|v| f.value_type(v)).unwrap_or(Type::Void);
@@ -227,10 +225,8 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                     ));
                 }
             }
-            Terminator::Switch { val, .. } => {
-                if !f.value_type(*val).is_int() {
-                    return Err(err(Some(b), None, "switch on non-integer".into()));
-                }
+            Terminator::Switch { val, .. } if !f.value_type(*val).is_int() => {
+                return Err(err(Some(b), None, "switch on non-integer".into()));
             }
             _ => {}
         }
@@ -385,26 +381,27 @@ fn check_inst_types(
                 return Err(err("gep offset is not an integer".into()));
             }
         }
-        InstKind::Call { callee, args } => {
-            if let crate::inst::Callee::Direct(c) = callee {
-                if c.index() >= m.functions.len() {
-                    return Err(err(format!("call to invalid function @fn{}", c.0)));
-                }
-                let callee_fn = m.function(*c);
-                if callee_fn.params.len() != args.len() {
-                    return Err(err(format!(
-                        "call to `{}` with {} args, expected {}",
-                        callee_fn.name,
-                        args.len(),
-                        callee_fn.params.len()
-                    )));
-                }
-                if inst.ty != callee_fn.ret_ty {
-                    return Err(err(format!(
-                        "call result type {} != callee return type {}",
-                        inst.ty, callee_fn.ret_ty
-                    )));
-                }
+        InstKind::Call {
+            callee: crate::inst::Callee::Direct(c),
+            args,
+        } => {
+            if c.index() >= m.functions.len() {
+                return Err(err(format!("call to invalid function @fn{}", c.0)));
+            }
+            let callee_fn = m.function(*c);
+            if callee_fn.params.len() != args.len() {
+                return Err(err(format!(
+                    "call to `{}` with {} args, expected {}",
+                    callee_fn.name,
+                    args.len(),
+                    callee_fn.params.len()
+                )));
+            }
+            if inst.ty != callee_fn.ret_ty {
+                return Err(err(format!(
+                    "call result type {} != callee return type {}",
+                    inst.ty, callee_fn.ret_ty
+                )));
             }
         }
         InstKind::Alloca { cells } => {

@@ -4,52 +4,48 @@
 //! Model artifacts — trained policies, fitted projections — must reload
 //! *decision-identically*, so their float containers serialize as raw
 //! IEEE-754 bit patterns via these `#[serde(with = …)]` modules.
+//!
+//! The function signatures follow the workspace serde stand-in's value
+//! model: `serialize` builds a [`serde::Value`], `deserialize` reads one.
 
 /// `Vec<f64>` ⇄ `Vec<u64>` bit patterns.
 pub mod vec_f64 {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::{Error, Serialize, Value};
 
     /// Serializes the values as `u64` bit patterns.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the serializer's errors.
-    pub fn serialize<S: Serializer>(v: &[f64], s: S) -> Result<S::Ok, S::Error> {
+    pub fn serialize(v: &[f64]) -> Value {
         let bits: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
-        bits.serialize(s)
+        bits.serialize()
     }
 
     /// Deserializes `u64` bit patterns back into exact `f64` values.
     ///
     /// # Errors
     ///
-    /// Propagates the deserializer's errors.
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
-        let bits: Vec<u64> = Vec::deserialize(d)?;
+    /// Returns an error if the value is not an array of `u64`.
+    pub fn deserialize(v: &Value) -> Result<Vec<f64>, Error> {
+        let bits: Vec<u64> = serde::Deserialize::deserialize(v)?;
         Ok(bits.into_iter().map(f64::from_bits).collect())
     }
 }
 
 /// Scalar `f64` ⇄ `u64` bit pattern.
 pub mod f64_bits {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::{Error, Serialize, Value};
 
     /// Serializes the value as its `u64` bit pattern.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the serializer's errors.
-    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
-        v.to_bits().serialize(s)
+    pub fn serialize(v: &f64) -> Value {
+        v.to_bits().serialize()
     }
 
     /// Deserializes a `u64` bit pattern back into the exact `f64`.
     ///
     /// # Errors
     ///
-    /// Propagates the deserializer's errors.
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
-        Ok(f64::from_bits(u64::deserialize(d)?))
+    /// Returns an error if the value is not a `u64`.
+    pub fn deserialize(v: &Value) -> Result<f64, Error> {
+        let bits: u64 = serde::Deserialize::deserialize(v)?;
+        Ok(f64::from_bits(bits))
     }
 }
 

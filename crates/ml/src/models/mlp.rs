@@ -126,7 +126,7 @@ impl Regressor for Mlp {
         for _ in 0..d * h {
             params.push(rng.gen_range(-xavier..xavier));
         }
-        params.extend(std::iter::repeat(0.0).take(h));
+        params.extend(std::iter::repeat_n(0.0, h));
         let xavier2 = (1.0 / h as f64).sqrt();
         for _ in 0..h {
             params.push(rng.gen_range(-xavier2..xavier2));

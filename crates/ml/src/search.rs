@@ -6,6 +6,7 @@ use crate::models::*;
 use crate::preprocess::*;
 use crate::{metrics, take_rows, train_test_split, Preprocessor, Regressor, TrainError};
 use mlcomp_linalg::Matrix;
+use mlcomp_parallel::WorkerPool;
 
 /// Names of all Table IV models, in the paper's row order.
 pub fn model_zoo() -> Vec<&'static str> {
@@ -156,6 +157,33 @@ pub struct SearchOutcome {
 /// split, tests on the held-out rows, tracks the best accuracy, and stops
 /// early once `accuracy_threshold` is reached. Accuracy is `1 − MAPE`,
 /// matching the paper's relative-error reporting.
+///
+/// Candidates are evaluated on a worker pool in chunks that respect the
+/// paper's candidate order, so the leaderboard — including where the
+/// early exit fires — is identical to a sequential sweep at any
+/// [`num_threads`](ModelSearch::num_threads).
+///
+/// # Examples
+///
+/// ```
+/// use mlcomp_linalg::Matrix;
+/// use mlcomp_ml::search::ModelSearch;
+///
+/// // A small dataset following y = 3a − 2b + 5.
+/// let rows: Vec<[f64; 2]> = (0..24).map(|i| [i as f64, (i % 5) as f64]).collect();
+/// let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+/// let x = Matrix::from_rows(&row_refs);
+/// let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0).collect();
+///
+/// let outcome = ModelSearch::quick().run(&x, &y).unwrap();
+/// assert!(outcome.accuracy > 0.9);
+///
+/// // The outcome is independent of the fan-out width.
+/// let wide = ModelSearch { num_threads: 8, ..ModelSearch::quick() };
+/// let outcome8 = wide.run(&x, &y).unwrap();
+/// assert_eq!(outcome.best.model_name, outcome8.best.model_name);
+/// assert_eq!(outcome.leaderboard, outcome8.leaderboard);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ModelSearch {
     /// Early-exit threshold on held-out accuracy (`accuracy_thr`).
@@ -168,6 +196,9 @@ pub struct ModelSearch {
     pub models: Vec<String>,
     /// Preprocessors to consider; defaults to the full Table III.
     pub preprocessors: Vec<String>,
+    /// Worker threads for candidate evaluation; 0 = host parallelism.
+    /// The outcome is identical at any value.
+    pub num_threads: usize,
 }
 
 impl Default for ModelSearch {
@@ -178,6 +209,7 @@ impl Default for ModelSearch {
             seed: 42,
             models: model_zoo().into_iter().map(String::from).collect(),
             preprocessors: preprocessor_zoo().into_iter().map(String::from).collect(),
+            num_threads: 0,
         }
     }
 }
@@ -213,35 +245,28 @@ impl ModelSearch {
         let (xtr, ytr) = take_rows(x, y, &train);
         let (xte, yte) = take_rows(x, y, &test);
 
+        // Candidates in the paper's order: models outer, preprocessors
+        // inner. Chunks are evaluated in parallel but consumed in order,
+        // truncating at the first above-threshold entry, so the resulting
+        // leaderboard matches a sequential sweep exactly (at the cost of
+        // at most one chunk of extra fits past the early-exit point).
+        let candidates: Vec<(&String, &String)> = self
+            .models
+            .iter()
+            .flat_map(|m| self.preprocessors.iter().map(move |p| (m, p)))
+            .collect();
+        let pool = WorkerPool::new(self.num_threads);
+        let chunk_len = pool.num_threads().max(1) * 2;
         let mut leaderboard: Vec<SearchEntry> = Vec::new();
         let mut early_stopped = false;
-        'outer: for model_name in &self.models {
-            for prep_name in &self.preprocessors {
-                let Some(mut prep) = create_preprocessor(prep_name) else {
-                    continue;
-                };
-                let Some(mut model) = create_model(model_name) else {
-                    continue;
-                };
-                let Ok(ptr) = prep.fit_transform(&xtr) else {
-                    continue;
-                };
-                if model.fit(&ptr, &ytr).is_err() {
-                    continue;
-                }
-                let pred = model.predict(&prep.transform(&xte));
-                if pred.iter().any(|p| !p.is_finite()) {
-                    continue;
-                }
-                let acc = 1.0 - metrics::mape(&yte, &pred);
-                leaderboard.push(SearchEntry {
-                    preprocessor: prep_name.clone(),
-                    model: model_name.clone(),
-                    accuracy: acc,
-                    max_pct_error: metrics::max_pct_error(&yte, &pred),
-                    r2: metrics::r2(&yte, &pred),
-                });
-                if acc > self.accuracy_threshold {
+        'outer: for batch in candidates.chunks(chunk_len) {
+            let evaluated = pool.map(batch, |_, &(model_name, prep_name)| {
+                self.evaluate_candidate(model_name, prep_name, &xtr, &ytr, &xte, &yte)
+            });
+            for entry in evaluated.into_iter().flatten() {
+                let stop = entry.accuracy > self.accuracy_threshold;
+                leaderboard.push(entry);
+                if stop {
                     early_stopped = true;
                     break 'outer;
                 }
@@ -269,6 +294,36 @@ impl ModelSearch {
             accuracy: winner.accuracy,
             leaderboard,
             early_stopped,
+        })
+    }
+
+    /// Fits and scores one (model, preprocessor) candidate on the split;
+    /// `None` when the candidate cannot be constructed, fails to train, or
+    /// predicts non-finite values — matching the sequential `continue`s.
+    fn evaluate_candidate(
+        &self,
+        model_name: &str,
+        prep_name: &str,
+        xtr: &Matrix,
+        ytr: &[f64],
+        xte: &Matrix,
+        yte: &[f64],
+    ) -> Option<SearchEntry> {
+        let mut prep = create_preprocessor(prep_name)?;
+        let mut model = create_model(model_name)?;
+        let ptr = prep.fit_transform(xtr).ok()?;
+        model.fit(&ptr, ytr).ok()?;
+        let pred = model.predict(&prep.transform(xte));
+        if pred.iter().any(|p| !p.is_finite()) {
+            return None;
+        }
+        let acc = 1.0 - metrics::mape(yte, &pred);
+        Some(SearchEntry {
+            preprocessor: prep_name.to_string(),
+            model: model_name.to_string(),
+            accuracy: acc,
+            max_pct_error: metrics::max_pct_error(yte, &pred),
+            r2: metrics::r2(yte, &pred),
         })
     }
 }
@@ -323,6 +378,29 @@ mod tests {
         let out = search.run(&x, &y).unwrap();
         assert!(out.early_stopped);
         assert_eq!(out.leaderboard.len(), 1, "stopped after the first combo");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_outcome() {
+        let (x, y) = crate::models::testutil::synthetic(120, 0.02, 79);
+        let reference = ModelSearch {
+            num_threads: 1,
+            ..ModelSearch::quick()
+        }
+        .run(&x, &y)
+        .unwrap();
+        for threads in [2, 4, 8] {
+            let out = ModelSearch {
+                num_threads: threads,
+                ..ModelSearch::quick()
+            }
+            .run(&x, &y)
+            .unwrap();
+            assert_eq!(reference.leaderboard, out.leaderboard, "threads={threads}");
+            assert_eq!(reference.early_stopped, out.early_stopped);
+            assert_eq!(reference.best.model_name, out.best.model_name);
+            assert_eq!(reference.best.preprocessor_name, out.best.preprocessor_name);
+        }
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Deterministic parallelism primitives for the MLComp hot paths.
+//!
+//! The two expensive stages of the pipeline — data extraction (compiling
+//! and profiling hundreds of program variants, Fig. 2 box ① of the paper)
+//! and Algorithm 1's model search (fitting up to 21 × 9 model/preprocessor
+//! pipelines) — are embarrassingly parallel *per work item*, but the
+//! reproduction promises **bit-identical results regardless of thread
+//! count**. This crate provides the three pieces that make that promise
+//! cheap to keep:
+//!
+//! * [`WorkerPool`] — a [`std::thread::scope`]-based fork/join pool whose
+//!   [`WorkerPool::map`] returns results in *input order*, no matter which
+//!   worker ran which item or in what order items finished.
+//! * [`seed`] — stateless seed-derivation helpers so each work item owns an
+//!   independent RNG stream derived from `(base_seed, item identity)`
+//!   rather than a position in a shared sequential stream.
+//! * [`MemoCache`] — a thread-safe memoisation table for pure
+//!   `key → value` computations (profile/feature extraction results).
+//!
+//! No external dependencies and no unsafe code; work distribution uses an
+//! atomic cursor and per-worker result buffers that are merged and sorted
+//! by item index after the scope joins.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod seed;
+
+/// A fork/join worker pool with deterministic, input-ordered results.
+///
+/// The pool is *scoped*: every call to [`WorkerPool::map`] spawns its
+/// workers inside [`std::thread::scope`], so borrowed data may be captured
+/// freely and all threads are joined before the call returns. Work is
+/// distributed dynamically through an atomic cursor (good load balance when
+/// item costs vary, as they do across program variants), and each result is
+/// tagged with its item index so the output `Vec` is always in input order.
+///
+/// A `num_threads` of 0 or 1 runs items inline on the calling thread with
+/// no pool overhead — handy for debugging and for the determinism tests
+/// that compare thread counts.
+///
+/// # Examples
+///
+/// ```
+/// use mlcomp_parallel::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let squares = pool.map(&[1u64, 2, 3, 4, 5], |_idx, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+///
+/// // Results are identical whatever the thread count:
+/// assert_eq!(squares, WorkerPool::new(1).map(&[1u64, 2, 3, 4, 5], |_i, &x| x * x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    num_threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool that will use `num_threads` worker threads.
+    ///
+    /// `0` means "pick for me": the host's available parallelism.
+    pub fn new(num_threads: usize) -> Self {
+        let num_threads = if num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            num_threads
+        };
+        Self { num_threads }
+    }
+
+    /// The number of worker threads [`WorkerPool::map`] will spawn.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Applies `f` to every item, in parallel, returning results in input
+    /// order.
+    ///
+    /// `f` receives the item's index alongside the item so callers can
+    /// derive per-item state (e.g. an RNG seed) from a stable identity
+    /// rather than from execution order. Panics in `f` propagate to the
+    /// caller once all workers have joined.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.num_threads <= 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let workers = self.num_threads.min(items.len());
+        let cursor = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(idx) else { break };
+                            local.push((idx, f(idx, item)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => tagged.extend(local),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        tagged.sort_by_key(|&(idx, _)| idx);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl Default for WorkerPool {
+    /// A pool sized to the host's available parallelism.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// A thread-safe memoisation table for pure `key → value` computations.
+///
+/// Used to deduplicate profiling/feature-extraction work: random phase
+/// sequences collide often on small `max_phases`, and the anchor variants
+/// (`unopt`/`-O2`/`-O3`) repeat across runs. Because values must depend
+/// only on their key, a race where two threads compute the same key
+/// concurrently is benign — both compute the same value, one insertion
+/// wins, and `hits`/`misses` counters stay consistent under the same lock.
+///
+/// # Examples
+///
+/// ```
+/// use mlcomp_parallel::MemoCache;
+///
+/// let cache: MemoCache<String, u64> = MemoCache::new();
+/// let v1 = cache.get_or_insert_with("dedup|mem2reg gvn".to_string(), || 42);
+/// let v2 = cache.get_or_insert_with("dedup|mem2reg gvn".to_string(), || unreachable!());
+/// assert_eq!((v1, v2), (42, 42));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoCache<K, V> {
+    inner: Mutex<CacheInner<K, V>>,
+}
+
+#[derive(Debug)]
+struct CacheInner<K, V> {
+    map: HashMap<K, V>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K, V> Default for CacheInner<K, V> {
+    fn default() -> Self {
+        Self {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl<K, V> MemoCache<K, V>
+where
+    K: std::hash::Hash + Eq + Clone,
+    V: Clone,
+{
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing and storing it with
+    /// `compute` on a miss.
+    ///
+    /// `compute` runs *outside* the lock so concurrent lookups of other
+    /// keys are never blocked by a slow computation; `compute` must
+    /// therefore be a pure function of `key`.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        {
+            let mut inner = self.inner.lock().expect("memo cache poisoned");
+            if let Some(v) = inner.map.get(&key) {
+                let v = v.clone();
+                inner.hits += 1;
+                return v;
+            }
+        }
+        let value = compute();
+        let mut inner = self.inner.lock().expect("memo cache poisoned");
+        inner.misses += 1;
+        inner.map.entry(key).or_insert_with(|| value.clone());
+        value
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().expect("memo cache poisoned").hits
+    }
+
+    /// Number of lookups that had to compute their value.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().expect("memo cache poisoned").misses
+    }
+
+    /// Number of distinct keys currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("memo cache poisoned").map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(pool.map(&items, |_, &x| x * 3 + 1), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_passes_stable_indices() {
+        let items = vec!["a", "b", "c", "d", "e", "f", "g", "h"];
+        let idxs = WorkerPool::new(4).map(&items, |i, _| i);
+        assert_eq!(idxs, (0..items.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let pool = WorkerPool::new(8);
+        assert_eq!(pool.map(&[] as &[u8], |_, &x| x), Vec::<u8>::new());
+        assert_eq!(pool.map(&[7u8], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_host_parallelism() {
+        assert!(WorkerPool::new(0).num_threads() >= 1);
+    }
+
+    #[test]
+    fn memo_cache_deduplicates() {
+        let cache: MemoCache<u32, u32> = MemoCache::new();
+        let calls = AtomicUsize::new(0);
+        let pool = WorkerPool::new(4);
+        let keys: Vec<u32> = (0..64).map(|i| i % 8).collect();
+        let out = pool.map(&keys, |_, &k| {
+            cache.get_or_insert_with(k, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                k * 10
+            })
+        });
+        assert!(out.iter().zip(&keys).all(|(v, k)| *v == k * 10));
+        assert_eq!(cache.len(), 8);
+        // Benign-race caveat: a key may be computed more than once, but
+        // never more often than it is looked up.
+        assert!(calls.load(Ordering::Relaxed) >= 8);
+        assert!(cache.hits() + cache.misses() == 64);
+    }
+}

@@ -263,20 +263,16 @@ pub fn no_clobbers_between(
         let insts = &f.block(b).insts;
         for &id in insts.iter().take(hi).skip(lo) {
             match &f.inst(id).kind {
-                InstKind::Store { ptr, .. } | InstKind::Memset { ptr, .. } => {
-                    if may_alias(mem_root(f, *ptr), root) {
-                        return false;
-                    }
+                InstKind::Store { ptr, .. } | InstKind::Memset { ptr, .. }
+                    if may_alias(mem_root(f, *ptr), root) =>
+                {
+                    return false;
                 }
-                InstKind::Memcpy { dst, .. } => {
-                    if may_alias(mem_root(f, *dst), root) {
-                        return false;
-                    }
+                InstKind::Memcpy { dst, .. } if may_alias(mem_root(f, *dst), root) => {
+                    return false;
                 }
-                InstKind::Call { callee, .. } => {
-                    if !callee_is_readnone(m, callee) {
-                        return false;
-                    }
+                InstKind::Call { callee, .. } if !callee_is_readnone(m, callee) => {
+                    return false;
                 }
                 _ => {}
             }

@@ -83,15 +83,11 @@ pub fn dse(m: &Module, f: &mut Function) -> bool {
             let mut read = false;
             for (_b2, id2) in all_insts(f) {
                 match &f.inst(id2).kind {
-                    InstKind::Load { ptr, .. } => {
-                        if may_alias(mem_root(f, *ptr), root) {
-                            read = true;
-                        }
+                    InstKind::Load { ptr, .. } if may_alias(mem_root(f, *ptr), root) => {
+                        read = true;
                     }
-                    InstKind::Memcpy { src, .. } => {
-                        if may_alias(mem_root(f, *src), root) {
-                            read = true;
-                        }
+                    InstKind::Memcpy { src, .. } if may_alias(mem_root(f, *src), root) => {
+                        read = true;
                     }
                     _ => {}
                 }
@@ -145,16 +141,14 @@ pub fn dse(m: &Module, f: &mut Function) -> bool {
                             // keep scanning.
                         }
                     }
-                    InstKind::Load { ptr: p2, .. } => {
-                        if may_alias(mem_root(f, *p2), root) {
-                            break 'scan;
-                        }
+                    InstKind::Load { ptr: p2, .. } if may_alias(mem_root(f, *p2), root) => {
+                        break 'scan;
                     }
-                    InstKind::Memcpy { src, .. } => {
-                        if may_alias(mem_root(f, *src), root) {
-                            break 'scan;
-                        }
+                    InstKind::Load { .. } => {}
+                    InstKind::Memcpy { src, .. } if may_alias(mem_root(f, *src), root) => {
+                        break 'scan;
                     }
+                    InstKind::Memcpy { .. } => {}
                     InstKind::Memset { .. } => {}
                     InstKind::Call { callee, .. } => {
                         let readnone = match callee {

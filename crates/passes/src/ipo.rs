@@ -336,8 +336,8 @@ pub fn deadargelim(m: &mut Module) -> bool {
         // Param index remapping.
         let mut remap: Vec<Option<u32>> = Vec::with_capacity(nparams);
         let mut next = 0u32;
-        for i in 0..nparams {
-            if used[i] {
+        for &u in used.iter().take(nparams) {
+            if u {
                 remap.push(Some(next));
                 next += 1;
             } else {

@@ -191,16 +191,10 @@ impl std::error::Error for UnknownPhaseError {}
 /// Runs phases and pipelines over modules, optionally verifying the IR
 /// after every phase (used pervasively in tests; cheap enough to leave on
 /// for experiments too).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PassManager {
     /// Verify IR well-formedness after every phase, panicking on breakage.
     pub verify_each: bool,
-}
-
-impl Default for PassManager {
-    fn default() -> Self {
-        PassManager { verify_each: false }
-    }
 }
 
 impl PassManager {

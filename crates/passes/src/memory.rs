@@ -60,10 +60,8 @@ pub fn sroa(_m: &Module, f: &mut Function) -> bool {
             ordered.sort_unstable_by_key(|(o, _)| *o);
             let insts = &mut f.block_mut(ab).insts;
             let pos = insts.iter().position(|&i| i == alloca).unwrap();
-            let mut at = pos + 1;
-            for (_, part) in ordered {
-                insts.insert(at, part);
-                at += 1;
+            for (idx, (_, part)) in ordered.into_iter().enumerate() {
+                insts.insert(pos + 1 + idx, part);
             }
         }
         // Retarget every gep through the aggregate.
@@ -291,11 +289,9 @@ fn promote(f: &mut Function, allocas: &[InstId]) {
     let mut def_blocks: Vec<HashSet<BlockId>> = vec![HashSet::new(); allocas.len()];
     for b in f.block_ids() {
         for &id in &f.block(b).insts {
-            if let InstKind::Store { ptr, .. } = &f.inst(id).kind {
-                if let Value::Inst(a) = ptr {
-                    if let Some(&ai) = alloca_index.get(a) {
-                        def_blocks[ai].insert(b);
-                    }
+            if let InstKind::Store { ptr: Value::Inst(a), .. } = &f.inst(id).kind {
+                if let Some(&ai) = alloca_index.get(a) {
+                    def_blocks[ai].insert(b);
                 }
             }
         }
@@ -363,25 +359,21 @@ fn promote(f: &mut Function, allocas: &[InstId]) {
                 }
                 for &id in &f.block(b).insts.clone() {
                     match f.inst(id).kind.clone() {
-                        InstKind::Load { ptr, .. } => {
-                            if let Value::Inst(a) = ptr {
-                                if let Some(&ai) = alloca_index.get(&a) {
-                                    let cur = stacks[ai]
-                                        .last()
-                                        .copied()
-                                        .unwrap_or(Value::Undef(types[ai]));
-                                    replacements.push((id, cur));
-                                    removals.push((b, id));
-                                }
+                        InstKind::Load { ptr: Value::Inst(a), .. } => {
+                            if let Some(&ai) = alloca_index.get(&a) {
+                                let cur = stacks[ai]
+                                    .last()
+                                    .copied()
+                                    .unwrap_or(Value::Undef(types[ai]));
+                                replacements.push((id, cur));
+                                removals.push((b, id));
                             }
                         }
-                        InstKind::Store { ptr, value, .. } => {
-                            if let Value::Inst(a) = ptr {
-                                if let Some(&ai) = alloca_index.get(&a) {
-                                    stacks[ai].push(value);
-                                    pushes[ai] += 1;
-                                    removals.push((b, id));
-                                }
+                        InstKind::Store { ptr: Value::Inst(a), value, .. } => {
+                            if let Some(&ai) = alloca_index.get(&a) {
+                                stacks[ai].push(value);
+                                pushes[ai] += 1;
+                                removals.push((b, id));
                             }
                         }
                         _ => {}

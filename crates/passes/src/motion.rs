@@ -337,10 +337,8 @@ pub fn memcpyopt(m: &Module, f: &mut Function) -> bool {
                     .position(|&x| x == last_id)
                     .unwrap();
                 f.block_mut(b).insts.insert(pos, intrinsic_id);
-                if let InstKind::Memcpy { src, .. } = &intrinsic {
-                    if let Value::Inst(sid) = src {
-                        f.block_mut(b).insts.insert(pos, *sid);
-                    }
+                if let InstKind::Memcpy { src: Value::Inst(sid), .. } = &intrinsic {
+                    f.block_mut(b).insts.insert(pos, *sid);
                 }
                 f.block_mut(b).insts.insert(pos, dst_ptr);
                 for st in run {

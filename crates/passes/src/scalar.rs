@@ -158,13 +158,11 @@ fn combine_one(f: &Function, id: InstId) -> Option<InstKind> {
                         }
                     }
                 }
-                BinOp::Xor => {
-                    if r == Value::ConstInt(-1, ty) {
-                        return Some(InstKind::Un {
-                            op: UnOp::Not,
-                            val: l,
-                        });
-                    }
+                BinOp::Xor if r == Value::ConstInt(-1, ty) => {
+                    return Some(InstKind::Un {
+                        op: UnOp::Not,
+                        val: l,
+                    });
                 }
                 _ => {}
             }
@@ -708,31 +706,27 @@ pub fn alignment_from_assumptions(_m: &Module, f: &mut Function) -> bool {
                 ptr,
                 aligned: false,
                 width,
-            } => {
-                if mem_root(f, ptr) != MemRoot::Unknown {
-                    f.inst_mut(id).kind = InstKind::Load {
-                        ptr,
-                        aligned: true,
-                        width,
-                    };
-                    changed = true;
-                }
+            } if mem_root(f, ptr) != MemRoot::Unknown => {
+                f.inst_mut(id).kind = InstKind::Load {
+                    ptr,
+                    aligned: true,
+                    width,
+                };
+                changed = true;
             }
             InstKind::Store {
                 ptr,
                 value,
                 aligned: false,
                 width,
-            } => {
-                if mem_root(f, ptr) != MemRoot::Unknown {
-                    f.inst_mut(id).kind = InstKind::Store {
-                        ptr,
-                        value,
-                        aligned: true,
-                        width,
-                    };
-                    changed = true;
-                }
+            } if mem_root(f, ptr) != MemRoot::Unknown => {
+                f.inst_mut(id).kind = InstKind::Store {
+                    ptr,
+                    value,
+                    aligned: true,
+                    width,
+                };
+                changed = true;
             }
             _ => {}
         }

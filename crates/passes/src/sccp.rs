@@ -77,7 +77,7 @@ pub fn ipsccp(m: &mut Module) -> bool {
 
     // Substitute proven-constant params inside internal, non-address-taken
     // functions that have at least one caller.
-    for fi in 0..n {
+    for (fi, lattices) in param_consts.iter().enumerate() {
         let fid = FuncId(fi as u32);
         if !m.functions[fi].internal
             || cg.address_taken.contains(&fid)
@@ -85,7 +85,7 @@ pub fn ipsccp(m: &mut Module) -> bool {
         {
             continue;
         }
-        let consts: Vec<(u32, Value)> = param_consts[fi]
+        let consts: Vec<(u32, Value)> = lattices
             .iter()
             .enumerate()
             .filter_map(|(i, l)| match l {
@@ -127,7 +127,7 @@ pub fn ipsccp(m: &mut Module) -> bool {
 
     // Per-function SCCP, collecting constant returns.
     let mut const_returns: Vec<Option<Value>> = vec![None; n];
-    for fi in 0..n {
+    for (fi, ret_slot) in const_returns.iter_mut().enumerate() {
         if m.functions[fi].is_declaration {
             continue;
         }
@@ -148,7 +148,7 @@ pub fn ipsccp(m: &mut Module) -> bool {
             }
         }
         if let Lattice::Const(v) = ret {
-            const_returns[fi] = Some(v);
+            *ret_slot = Some(v);
         }
         m.functions[fi] = f;
     }

@@ -73,26 +73,26 @@ impl PolicyNet {
         assert_eq!(x.len(), self.input_dim, "state dimension mismatch");
         let h = self.hidden;
         let mut h1 = vec![0.0; h];
-        for k in 0..h {
+        for (k, h1k) in h1.iter_mut().enumerate() {
             let mut s = self.b1[k];
             for (j, xv) in x.iter().enumerate() {
                 s += xv * self.w1[j * h + k];
             }
-            h1[k] = s.tanh();
+            *h1k = s.tanh();
         }
         let mut h2 = vec![0.0; h];
-        for k in 0..h {
+        for (k, h2k) in h2.iter_mut().enumerate() {
             let mut s = self.b2[k];
-            for j in 0..h {
-                s += h1[j] * self.w2[j * h + k];
+            for (j, h1j) in h1.iter().enumerate() {
+                s += h1j * self.w2[j * h + k];
             }
-            h2[k] = s.tanh();
+            *h2k = s.tanh();
         }
         let mut logits = vec![0.0; self.actions];
         for (a, l) in logits.iter_mut().enumerate() {
             let mut s = self.b3[a];
-            for j in 0..h {
-                s += h2[j] * self.w3[j * self.actions + a];
+            for (j, h2j) in h2.iter().enumerate() {
+                s += h2j * self.w3[j * self.actions + a];
             }
             *l = s;
         }

@@ -36,7 +36,7 @@ fn demo_config() -> MlcompConfig {
     c
 }
 
-fn run_on<P: TargetPlatform>(platform: &P, apps: &[BenchProgram]) {
+fn run_on<P: TargetPlatform + Sync>(platform: &P, apps: &[BenchProgram]) {
     println!("=== target: {} ===", platform.name());
     let artifacts = Mlcomp::new(demo_config())
         .run(platform, apps)

@@ -1,0 +1,99 @@
+//! Determinism regression tests for the parallel hot paths: the same seed
+//! must produce byte-identical artifacts at every worker-thread count.
+//!
+//! This is the contract that makes `num_threads` a pure performance knob —
+//! datasets extracted on a laptop and a 64-core server are interchangeable,
+//! and every experiment in the paper reproduction is exactly repeatable.
+
+use mlcomp::core::DataExtraction;
+use mlcomp::ml::search::ModelSearch;
+use mlcomp::platform::X86Platform;
+
+fn small_suite() -> Vec<mlcomp::suites::BenchProgram> {
+    mlcomp::suites::parsec_suite()
+        .into_iter()
+        .filter(|p| ["dedup", "vips", "blackscholes"].contains(&p.name))
+        .collect()
+}
+
+#[test]
+fn dataset_serialization_is_identical_across_thread_counts() {
+    let platform = X86Platform::new();
+    let apps = small_suite();
+    let reference = DataExtraction {
+        num_threads: 1,
+        noise: 0.005,
+        ..DataExtraction::quick()
+    }
+    .run(&platform, &apps)
+    .unwrap();
+    let reference_json = serde_json::to_string(&reference).unwrap();
+    for threads in [4usize, 8] {
+        let ds = DataExtraction {
+            num_threads: threads,
+            noise: 0.005,
+            ..DataExtraction::quick()
+        }
+        .run(&platform, &apps)
+        .unwrap();
+        assert_eq!(
+            reference_json,
+            serde_json::to_string(&ds).unwrap(),
+            "Dataset JSON must be byte-identical at num_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn model_search_winner_is_identical_across_thread_counts() {
+    let platform = X86Platform::new();
+    let apps = small_suite();
+    let dataset = DataExtraction::quick().run(&platform, &apps).unwrap();
+    let x = dataset.features();
+    let y = dataset.targets("exec_time_s");
+
+    let reference = ModelSearch {
+        num_threads: 1,
+        ..ModelSearch::quick()
+    }
+    .run(&x, &y)
+    .unwrap();
+    for threads in [4usize, 8] {
+        let out = ModelSearch {
+            num_threads: threads,
+            ..ModelSearch::quick()
+        }
+        .run(&x, &y)
+        .unwrap();
+        assert_eq!(
+            (
+                reference.best.model_name.as_str(),
+                reference.best.preprocessor_name.as_str(),
+                reference.early_stopped,
+            ),
+            (
+                out.best.model_name.as_str(),
+                out.best.preprocessor_name.as_str(),
+                out.early_stopped,
+            ),
+            "winning pipeline must not depend on num_threads={threads}"
+        );
+        assert_eq!(reference.leaderboard, out.leaderboard);
+    }
+}
+
+#[test]
+fn extraction_is_repeatable_within_one_thread_count() {
+    let platform = X86Platform::new();
+    let apps = small_suite();
+    let config = DataExtraction {
+        num_threads: 8,
+        ..DataExtraction::quick()
+    };
+    let a = config.run(&platform, &apps).unwrap();
+    let b = config.run(&platform, &apps).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+}

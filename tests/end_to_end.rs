@@ -19,7 +19,7 @@ fn apps(names: &[&str]) -> Vec<BenchProgram> {
         .collect()
 }
 
-fn assert_pipeline_works<P: TargetPlatform>(platform: &P, names: &[&str]) {
+fn assert_pipeline_works<P: TargetPlatform + Sync>(platform: &P, names: &[&str]) {
     let apps = apps(names);
     let artifacts = Mlcomp::new(quick_config())
         .run(platform, &apps)
