@@ -17,6 +17,54 @@ pub struct Sample {
     pub metrics: DynamicFeatures,
 }
 
+/// One datapoint that failed for good: its variant produced no sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedPoint {
+    /// Application name.
+    pub app: String,
+    /// Variant index within the application.
+    pub variant: usize,
+    /// Why the point failed (profiler error or final panic message).
+    pub reason: String,
+    /// Worker attempts spent on the item (1 for deterministic,
+    /// non-retried failures like interpreter traps).
+    pub attempts: u32,
+}
+
+/// One phase occurrence the pass sandbox rolled back while compiling a
+/// variant that still produced a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedPhase {
+    /// Application name.
+    pub app: String,
+    /// Variant index within the application.
+    pub variant: usize,
+    /// Position of the phase in the variant's sequence.
+    pub index: usize,
+    /// Phase name.
+    pub phase: String,
+    /// Why the sandbox pulled it (panic / verifier rejection).
+    pub reason: String,
+}
+
+/// Everything that went wrong during one extraction run, carried on the
+/// [`Dataset`] so downstream consumers can weigh coverage, and serialized
+/// with it so checkpoint-resumed runs reproduce the full report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailureReport {
+    /// Datapoints that produced no sample.
+    pub failed: Vec<FailedPoint>,
+    /// Phases rolled back by the pass sandbox (their variants survived).
+    pub quarantined: Vec<QuarantinedPhase>,
+}
+
+impl FailureReport {
+    /// Whether the run was completely clean.
+    pub fn is_empty(&self) -> bool {
+        self.failed.is_empty() && self.quarantined.is_empty()
+    }
+}
+
 /// A Data Extraction output: the PE training set for one platform.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
@@ -24,6 +72,8 @@ pub struct Dataset {
     pub platform: String,
     /// All profiled variants.
     pub samples: Vec<Sample>,
+    /// What failed along the way (empty on a clean run).
+    pub failures: FailureReport,
 }
 
 impl Dataset {
@@ -91,6 +141,7 @@ mod tests {
         let ds = Dataset {
             platform: "x86".into(),
             samples: vec![sample("a", 1.0), sample("b", 2.0), sample("a", 3.0)],
+            ..Dataset::default()
         };
         assert_eq!(ds.len(), 3);
         assert!(!ds.is_empty());
@@ -106,7 +157,23 @@ mod tests {
         let ds = Dataset {
             platform: "riscv".into(),
             samples: vec![sample("a", 1.5)],
+            failures: FailureReport {
+                failed: vec![FailedPoint {
+                    app: "a".into(),
+                    variant: 3,
+                    reason: "trap: division by zero".into(),
+                    attempts: 1,
+                }],
+                quarantined: vec![QuarantinedPhase {
+                    app: "a".into(),
+                    variant: 1,
+                    index: 7,
+                    phase: "gvn".into(),
+                    reason: "panic: injected".into(),
+                }],
+            },
         };
+        assert!(!ds.failures.is_empty());
         let json = serde_json::to_string(&ds).unwrap();
         let back: Dataset = serde_json::from_str(&json).unwrap();
         assert_eq!(ds, back);

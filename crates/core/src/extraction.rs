@@ -11,6 +11,11 @@
 //! | [`seed`](DataExtraction::seed) | §IV-B | Root of *all* extraction randomness. Every `(app, variant)` work item derives its own RNG stream from `(seed, app name, variant index)`, so the dataset is a pure function of this value — independent of thread count, scheduling, and cache hits. |
 //! | [`noise`](DataExtraction::noise) | §IV-A (RAPL / hardware counters) | Relative jitter applied to the measured time/energy, emulating real profiling variance. Seeded per `(app, sequence)`, so repeated measurements of the same variant agree. |
 //! | [`num_threads`](DataExtraction::num_threads) | — (this reproduction) | Fan-out width of the worker pool; `0` = host parallelism. Results are bit-identical at any value. |
+//! | [`retry_attempts`](DataExtraction::retry_attempts) | — (robustness) | Bounded per-item retry budget for worker attempts that panic. |
+//! | [`min_success_fraction`](DataExtraction::min_success_fraction) | — (robustness) | Fraction of datapoints that must survive for the run to succeed; losses below that are reported, not fatal. |
+//! | [`checkpoint_every`](DataExtraction::checkpoint_every) | — (robustness) | Items between checkpoint writes when a checkpoint path is given to [`run_with_checkpoint`](DataExtraction::run_with_checkpoint). |
+//! | [`interp_fuel`](DataExtraction::interp_fuel) | §IV-A | Override of the profiling interpreter's step budget; exhaustion surfaces in the [`FailureReport`], not as a crash. |
+//! | [`fault_plan`](DataExtraction::fault_plan) | — (testing) | Deterministic fault injection ([`mlcomp_faults::FaultPlan`]); `None` leaves the pipeline bit-identical to the fault-free build. |
 //!
 //! The first three variants of every application are fixed anchors —
 //! unoptimized, `-O2` and `-O3` — mirroring the baselines the paper's
@@ -25,37 +30,144 @@
 //! [`max_phases`](DataExtraction::max_phases), and anchors repeat across
 //! runs. See `DESIGN.md` for why per-variant seed derivation keeps the
 //! output byte-identical to a sequential run.
+//!
+//! # Failure handling
+//!
+//! The pipeline is supervised end to end. Phases run inside the pass
+//! sandbox ([`PassManager::run_sequence_sandboxed`]), so a panicking or
+//! IR-corrupting phase is rolled back and quarantined instead of sinking
+//! the variant. Worker attempts that panic are retried up to
+//! [`retry_attempts`](DataExtraction::retry_attempts) times by
+//! [`mlcomp_parallel::WorkerPool::map_supervised`]. Datapoints that still
+//! fail — exhausted retries, interpreter traps, fuel exhaustion — land in
+//! the [`FailureReport`] carried on the [`Dataset`]; the run as a whole
+//! only fails when fewer than
+//! [`min_success_fraction`](DataExtraction::min_success_fraction) of the
+//! points survive. With a checkpoint path, finished items are persisted
+//! periodically and a killed run resumes without recomputing them.
 
-use crate::dataset::{Dataset, Sample};
+use crate::dataset::{Dataset, FailedPoint, FailureReport, QuarantinedPhase, Sample};
+use mlcomp_faults::{quiet_injected_panics, FaultKind, FaultPlan, INJECTED_PANIC_PREFIX};
+use mlcomp_ir::InterpConfig;
 use mlcomp_parallel::{seed, MemoCache, WorkerPool};
-use mlcomp_passes::{registry, PassManager};
+use mlcomp_passes::{registry, PassManager, QuarantineEntry};
 use mlcomp_platform::{DynamicFeatures, Profiler, TargetPlatform, Workload};
 use mlcomp_suites::BenchProgram;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::Path;
 
 /// Result of compiling and profiling one phase sequence: the static+dynamic
-/// feature vector and the measured metrics, or the failure reason.
-type ProfileOutcome = Result<(Vec<f64>, DynamicFeatures), String>;
+/// feature vector, the measured metrics and any sandbox quarantines, or the
+/// failure reason.
+type ProfileOutcome = Result<(Vec<f64>, DynamicFeatures, Vec<QuarantineEntry>), String>;
 
-/// Data extraction failed for every sampled variant of some application.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ExtractionError {
-    /// Which application failed.
-    pub app: String,
-    /// The underlying reason for the last failure.
-    pub reason: String,
+/// Fuel budget substituted when [`FaultKind::FuelExhaustion`] fires: small
+/// enough that no real workload completes.
+const STARVATION_FUEL: u64 = 64;
+
+/// Why an extraction run failed as a whole (individual datapoint failures
+/// are *not* errors — they are collected in [`FailureReport`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtractionError {
+    /// Every attempted datapoint failed; the dataset would be empty.
+    NoSamples {
+        /// The reason of the last failure seen.
+        reason: String,
+    },
+    /// Fewer than [`DataExtraction::min_success_fraction`] of the
+    /// datapoints survived.
+    TooManyFailures {
+        /// Datapoints that produced samples.
+        survived: usize,
+        /// Total datapoints attempted.
+        total: usize,
+        /// The configured survival threshold.
+        min_success_fraction: f64,
+    },
+    /// The run stopped early ([`DataExtraction::max_items_per_run`]);
+    /// finished items are in the checkpoint, rerun to resume.
+    Interrupted {
+        /// Items finished so far (including resumed ones).
+        completed: usize,
+        /// Total items in the run.
+        total: usize,
+    },
+    /// Reading or writing the checkpoint file failed.
+    Checkpoint {
+        /// The checkpoint path.
+        path: String,
+        /// The underlying I/O or serialization error.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ExtractionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "extraction failed for `{}`: {}", self.app, self.reason)
+        match self {
+            ExtractionError::NoSamples { reason } => {
+                write!(f, "extraction produced no samples; last failure: {reason}")
+            }
+            ExtractionError::TooManyFailures {
+                survived,
+                total,
+                min_success_fraction,
+            } => write!(
+                f,
+                "extraction kept only {survived}/{total} datapoints, below the \
+                 required fraction {min_success_fraction}"
+            ),
+            ExtractionError::Interrupted { completed, total } => write!(
+                f,
+                "extraction interrupted after {completed}/{total} datapoints; \
+                 rerun with the same checkpoint to resume"
+            ),
+            ExtractionError::Checkpoint { path, reason } => {
+                write!(f, "extraction checkpoint `{path}` failed: {reason}")
+            }
+        }
     }
 }
 
 impl std::error::Error for ExtractionError {}
+
+/// The fate of one `(app, variant)` work item — what checkpoints persist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum ItemOutcome {
+    /// The variant produced a sample (possibly with quarantined phases).
+    Sample {
+        /// The profiled sample.
+        sample: Sample,
+        /// Phases the pass sandbox rolled back while compiling it.
+        quarantined: Vec<QuarantinedPhase>,
+    },
+    /// The variant failed for good.
+    Failed(FailedPoint),
+}
+
+/// One persisted item outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CheckpointEntry {
+    /// Index into the run's `(app, variant)` item list.
+    index: usize,
+    /// What happened to the item.
+    outcome: ItemOutcome,
+}
+
+/// The checkpoint file: a fingerprint guarding against stale resumes plus
+/// every finished item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CheckpointFile {
+    /// Hash of the extraction config, platform and application list.
+    fingerprint: u64,
+    /// Total items in the run the checkpoint belongs to.
+    total: usize,
+    /// Finished items.
+    entries: Vec<CheckpointEntry>,
+}
 
 /// Configuration for the permutation exploration.
 ///
@@ -79,6 +191,26 @@ pub struct DataExtraction {
     /// Worker threads for the `(app, variant)` fan-out; 0 = host
     /// parallelism. The produced [`Dataset`] is identical at any value.
     pub num_threads: usize,
+    /// Worker attempts per item before it is declared failed (panicking
+    /// attempts are caught and retried; deterministic failures like
+    /// interpreter traps are never retried). Minimum 1.
+    pub retry_attempts: u32,
+    /// Fraction of datapoints that must survive for the run to succeed;
+    /// below it the run fails with [`ExtractionError::TooManyFailures`].
+    pub min_success_fraction: f64,
+    /// Fresh items between checkpoint writes (only used when a checkpoint
+    /// path is passed to [`run_with_checkpoint`](DataExtraction::run_with_checkpoint)).
+    pub checkpoint_every: usize,
+    /// Stop after this many fresh items and return
+    /// [`ExtractionError::Interrupted`]; `0` = no limit. Exists to test
+    /// (and script) graceful shutdown + resume.
+    pub max_items_per_run: usize,
+    /// Override of the profiling interpreter's fuel budget; `None` keeps
+    /// the [`InterpConfig`] default. Exhaustion is reported per datapoint.
+    pub interp_fuel: Option<u64>,
+    /// Deterministic fault injection for robustness testing; `None` (the
+    /// default) leaves the pipeline bit-identical to the fault-free path.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for DataExtraction {
@@ -90,6 +222,12 @@ impl Default for DataExtraction {
             seed: 0xDA7A,
             noise: 0.0,
             num_threads: 0,
+            retry_attempts: 2,
+            min_success_fraction: 0.5,
+            checkpoint_every: 32,
+            max_items_per_run: 0,
+            interp_fuel: None,
+            fault_plan: None,
         }
     }
 }
@@ -117,8 +255,11 @@ impl DataExtraction {
     /// Per app, the first three variants are fixed anchors — unoptimized,
     /// `-O2` and `-O3` — and the rest are random permutations of the
     /// Table VI phases. Variants that fail to execute (e.g. pathological
-    /// sequences hitting interpreter limits) are skipped; the error is
-    /// returned only if *every* variant of an app fails.
+    /// sequences hitting interpreter limits) are recorded in the
+    /// dataset's [`FailureReport`]; the run fails only when the dataset
+    /// would be empty or fewer than
+    /// [`min_success_fraction`](DataExtraction::min_success_fraction) of
+    /// the datapoints survive.
     ///
     /// Work is distributed over [`num_threads`](DataExtraction::num_threads)
     /// workers; each `(app, variant)` item derives its RNG stream from its
@@ -138,6 +279,7 @@ impl DataExtraction {
     /// let config = DataExtraction { variants_per_app: 4, max_phases: 6, ..DataExtraction::quick() };
     /// let dataset = config.run(&X86Platform::new(), &apps).unwrap();
     /// assert_eq!(dataset.len(), 4);
+    /// assert!(dataset.failures.is_empty());
     ///
     /// // Same seed, different thread count → byte-identical dataset.
     /// let wide = DataExtraction { num_threads: 8, ..config }.run(&X86Platform::new(), &apps);
@@ -146,12 +288,43 @@ impl DataExtraction {
     ///
     /// # Errors
     ///
-    /// Returns [`ExtractionError`] when an application yields no samples.
+    /// Returns [`ExtractionError`] when the dataset would be empty or too
+    /// few datapoints survived.
     pub fn run<P: TargetPlatform + Sync + ?Sized>(
         &self,
         platform: &P,
         apps: &[BenchProgram],
     ) -> Result<Dataset, ExtractionError> {
+        self.run_with_checkpoint(platform, apps, None)
+    }
+
+    /// Like [`run`](DataExtraction::run), but with crash recovery: after
+    /// every [`checkpoint_every`](DataExtraction::checkpoint_every) fresh
+    /// items the finished outcomes are written to `checkpoint` (atomically,
+    /// via a temp file + rename). A rerun with the same configuration,
+    /// platform and application list resumes from the file instead of
+    /// recomputing — and produces the same dataset a single uninterrupted
+    /// run would have. The file is removed when the run completes.
+    ///
+    /// A checkpoint whose fingerprint does not match the current
+    /// configuration is ignored, so a stale file can never corrupt a run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractionError`] when the dataset would be empty, too
+    /// few datapoints survived, the checkpoint file cannot be written, or
+    /// the run was stopped early by
+    /// [`max_items_per_run`](DataExtraction::max_items_per_run).
+    pub fn run_with_checkpoint<P: TargetPlatform + Sync + ?Sized>(
+        &self,
+        platform: &P,
+        apps: &[BenchProgram],
+        checkpoint: Option<&Path>,
+    ) -> Result<Dataset, ExtractionError> {
+        if self.fault_plan.is_some() {
+            // Injected panics are expected; keep them off stderr.
+            quiet_injected_panics();
+        }
         let phases = registry::all_phase_names();
         let pool = WorkerPool::new(self.num_threads);
         // One work item per (app, variant); the pool returns results in
@@ -159,47 +332,176 @@ impl DataExtraction {
         let items: Vec<(usize, usize)> = (0..apps.len())
             .flat_map(|a| (0..self.variants_per_app).map(move |v| (a, v)))
             .collect();
+        let fingerprint = self.fingerprint(platform.name(), apps);
+
+        let mut outcomes: Vec<Option<ItemOutcome>> = vec![None; items.len()];
+        if let Some(path) = checkpoint {
+            for entry in load_checkpoint(path, fingerprint, items.len()) {
+                if entry.index < outcomes.len() {
+                    outcomes[entry.index] = Some(entry.outcome);
+                }
+            }
+        }
+
         // Compile+profile outcomes are pure functions of (app, sequence):
         // duplicate sequences — frequent for random permutations at small
         // max_phases — are computed once and served from the cache.
         let cache: MemoCache<(usize, String), ProfileOutcome> = MemoCache::new();
-        let results = pool.map(&items, |_, &(a, v)| {
-            let app = &apps[a];
-            let sequence = self.variant_sequence(app, v, phases);
-            let canonical = sequence.join(" ");
-            let outcome = cache.get_or_insert_with((a, canonical), || {
-                self.compile_and_profile(platform, app, &sequence)
+        let pending: Vec<usize> = (0..items.len()).filter(|&i| outcomes[i].is_none()).collect();
+        let budget = if self.max_items_per_run == 0 {
+            pending.len()
+        } else {
+            self.max_items_per_run.min(pending.len())
+        };
+        let chunk_len = if checkpoint.is_some() {
+            self.checkpoint_every.max(1)
+        } else {
+            budget.max(1)
+        };
+
+        for chunk in pending[..budget].chunks(chunk_len) {
+            let chunk_items: Vec<(usize, usize)> = chunk.iter().map(|&i| items[i]).collect();
+            let results = pool.map_supervised(&chunk_items, self.retry_attempts, |_, attempt, &(a, v)| {
+                let app = &apps[a];
+                if let Some(plan) = &self.fault_plan {
+                    // Transient worker failure: keyed by item identity and
+                    // attempt number, so retries re-roll the dice and the
+                    // decision is independent of worker scheduling.
+                    if plan.transient_fires(&format!("{}|{v}", app.name), attempt) {
+                        panic!(
+                            "{INJECTED_PANIC_PREFIX} transient worker failure at `{}|{v}`",
+                            app.name
+                        );
+                    }
+                }
+                let sequence = self.variant_sequence(app, v, phases);
+                let canonical = sequence.join(" ");
+                let outcome = cache.get_or_insert_with((a, canonical), || {
+                    self.compile_and_profile(platform, app, &sequence)
+                });
+                match outcome {
+                    Ok((features, metrics, quarantined)) => ItemOutcome::Sample {
+                        sample: Sample {
+                            app: app.name.to_string(),
+                            sequence,
+                            features,
+                            metrics,
+                        },
+                        quarantined: quarantined
+                            .into_iter()
+                            .map(|q| QuarantinedPhase {
+                                app: app.name.to_string(),
+                                variant: v,
+                                index: q.index,
+                                phase: q.phase,
+                                reason: q.reason.to_string(),
+                            })
+                            .collect(),
+                    },
+                    Err(reason) => ItemOutcome::Failed(FailedPoint {
+                        app: app.name.to_string(),
+                        variant: v,
+                        reason,
+                        attempts: attempt + 1,
+                    }),
+                }
             });
-            outcome.map(|(features, metrics)| Sample {
-                app: app.name.to_string(),
-                sequence,
-                features,
-                metrics,
-            })
-        });
+            for (&i, result) in chunk.iter().zip(results) {
+                outcomes[i] = Some(match result {
+                    Ok(outcome) => outcome,
+                    Err(failure) => {
+                        let (a, v) = items[i];
+                        ItemOutcome::Failed(FailedPoint {
+                            app: apps[a].name.to_string(),
+                            variant: v,
+                            reason: failure.reason,
+                            attempts: failure.attempts,
+                        })
+                    }
+                });
+            }
+            if let Some(path) = checkpoint {
+                write_checkpoint(path, fingerprint, items.len(), &outcomes)?;
+            }
+        }
+
+        if budget < pending.len() {
+            let completed = outcomes.iter().filter(|o| o.is_some()).count();
+            return Err(ExtractionError::Interrupted {
+                completed,
+                total: items.len(),
+            });
+        }
 
         let mut dataset = Dataset {
             platform: platform.name().to_string(),
             samples: Vec::with_capacity(items.len()),
+            failures: FailureReport::default(),
         };
-        let mut results = results.into_iter();
-        for app in apps {
-            let before = dataset.samples.len();
-            let mut last_err = String::from("no variants attempted");
-            for _ in 0..self.variants_per_app {
-                match results.next().expect("one result per item") {
-                    Ok(sample) => dataset.samples.push(sample),
-                    Err(e) => last_err = e,
+        for outcome in outcomes {
+            match outcome.expect("every item was processed or resumed") {
+                ItemOutcome::Sample { sample, quarantined } => {
+                    dataset.samples.push(sample);
+                    dataset.failures.quarantined.extend(quarantined);
                 }
+                ItemOutcome::Failed(point) => dataset.failures.failed.push(point),
             }
-            if dataset.samples.len() == before {
-                return Err(ExtractionError {
-                    app: app.name.to_string(),
-                    reason: last_err,
+        }
+
+        if dataset.is_empty() && !items.is_empty() {
+            let reason = dataset
+                .failures
+                .failed
+                .last()
+                .map(|p| p.reason.clone())
+                .unwrap_or_else(|| "no variants attempted".to_string());
+            return Err(ExtractionError::NoSamples { reason });
+        }
+        if !items.is_empty() {
+            let survived = dataset.len();
+            if (survived as f64) < self.min_success_fraction * items.len() as f64 {
+                return Err(ExtractionError::TooManyFailures {
+                    survived,
+                    total: items.len(),
+                    min_success_fraction: self.min_success_fraction,
                 });
             }
         }
+        if let Some(path) = checkpoint {
+            // Best-effort cleanup: a leftover file would be ignored anyway
+            // if the next run's fingerprint differs.
+            let _ = std::fs::remove_file(path);
+        }
         Ok(dataset)
+    }
+
+    /// Hash of everything that determines item outcomes — config, platform
+    /// and application list — used to reject stale checkpoints. Thread
+    /// count and chunking knobs are deliberately excluded: a resume may
+    /// use different parallelism or interruption limits.
+    fn fingerprint(&self, platform: &str, apps: &[BenchProgram]) -> u64 {
+        let mut h = seed::combine(seed::hash_str("mlcomp-extraction-checkpoint-v1"), self.seed);
+        h = seed::combine(h, seed::hash_str(platform));
+        for app in apps {
+            h = seed::combine(h, seed::hash_str(app.name));
+        }
+        for k in [
+            self.variants_per_app as u64,
+            self.min_phases as u64,
+            self.max_phases as u64,
+            u64::from(self.retry_attempts),
+        ] {
+            h = seed::combine(h, k);
+        }
+        h = seed::combine(h, self.noise.to_bits());
+        h = seed::combine(h, self.interp_fuel.unwrap_or(u64::MAX));
+        if let Some(plan) = &self.fault_plan {
+            h = seed::combine(h, plan.seed);
+            for kind in FaultKind::ALL {
+                h = seed::combine(h, plan.rate(kind).to_bits());
+            }
+        }
+        h
     }
 
     /// The phase sequence of one variant: anchors for `v < 3`, then random
@@ -232,8 +534,10 @@ impl DataExtraction {
         }
     }
 
-    /// Compiles `app` under `sequence` and profiles it: a pure function of
-    /// `(self, app, sequence)`, which is what makes it memoisable.
+    /// Compiles `app` under `sequence` (inside the pass sandbox) and
+    /// profiles it: a pure function of `(self, app, sequence)`, which is
+    /// what makes it memoisable — including the fault decisions, which are
+    /// keyed by `(app, canonical sequence)` exactly like the memo cache.
     fn compile_and_profile<P: TargetPlatform + ?Sized>(
         &self,
         platform: &P,
@@ -242,28 +546,97 @@ impl DataExtraction {
     ) -> ProfileOutcome {
         let pm = PassManager::new();
         let mut module = app.module.clone();
-        for ph in sequence {
-            pm.run_phase(&mut module, ph)
-                .expect("registry names are valid");
-        }
+        let canonical = sequence.join(" ");
+        let site_prefix = format!("{}|{canonical}", app.name);
+        let report = pm
+            .run_sequence_sandboxed(
+                &mut module,
+                sequence.iter().map(String::as_str),
+                self.fault_plan.as_ref(),
+                &site_prefix,
+            )
+            .expect("registry names are valid");
         let features = mlcomp_features::extract(&module);
+        let mut interp = InterpConfig::default();
+        if let Some(fuel) = self.interp_fuel {
+            interp.fuel = fuel;
+        }
+        if let Some(plan) = &self.fault_plan {
+            if plan.fires(FaultKind::FuelExhaustion, &site_prefix) {
+                interp.fuel = interp.fuel.min(STARVATION_FUEL);
+            }
+        }
         let profiler = if self.noise > 0.0 {
             // Noise is seeded by (seed, app, sequence) — not by sample
             // position — so repeated profiles of the same variant agree
             // and the memo cache stays semantics-preserving.
             let noise_seed = seed::combine(
                 seed::combine(self.seed, seed::hash_str(app.name)),
-                seed::hash_str(&sequence.join(" ")),
+                seed::hash_str(&canonical),
             );
             Profiler::new(platform).with_noise(self.noise, noise_seed)
         } else {
             Profiler::new(platform)
-        };
+        }
+        .with_interp_config(interp);
         let workload = Workload::new(app.entry, app.default_args());
         profiler
             .profile(&module, &workload)
-            .map(|metrics| (features.values, metrics))
+            .map(|metrics| (features.values, metrics, report.quarantine.entries))
             .map_err(|e| e.to_string())
+    }
+}
+
+/// Reads a checkpoint, returning its entries only when the file exists,
+/// parses, and matches the current run's fingerprint and item count —
+/// anything else means "start fresh", never an error.
+fn load_checkpoint(path: &Path, fingerprint: u64, total: usize) -> Vec<CheckpointEntry> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(file) = serde_json::from_str::<CheckpointFile>(&text) else {
+        return Vec::new();
+    };
+    if file.fingerprint != fingerprint || file.total != total {
+        return Vec::new();
+    }
+    file.entries
+}
+
+/// Writes all finished outcomes atomically (temp file + rename), so a kill
+/// mid-write leaves the previous checkpoint intact.
+fn write_checkpoint(
+    path: &Path,
+    fingerprint: u64,
+    total: usize,
+    outcomes: &[Option<ItemOutcome>],
+) -> Result<(), ExtractionError> {
+    let entries: Vec<CheckpointEntry> = outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(index, o)| {
+            o.as_ref().map(|outcome| CheckpointEntry {
+                index,
+                outcome: outcome.clone(),
+            })
+        })
+        .collect();
+    let file = CheckpointFile {
+        fingerprint,
+        total,
+        entries,
+    };
+    let json = serde_json::to_string(&file).map_err(|e| checkpoint_err(path, e))?;
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, json).map_err(|e| checkpoint_err(path, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| checkpoint_err(path, e))?;
+    Ok(())
+}
+
+fn checkpoint_err(path: &Path, e: impl fmt::Display) -> ExtractionError {
+    ExtractionError::Checkpoint {
+        path: path.display().to_string(),
+        reason: e.to_string(),
     }
 }
 
@@ -287,6 +660,7 @@ mod tests {
         assert_eq!(ds.len(), 16);
         assert_eq!(ds.platform, "x86");
         assert_eq!(ds.apps().len(), 2);
+        assert!(ds.failures.is_empty(), "clean run reports no failures");
         // The unoptimized anchor differs from the -O3 anchor.
         let dedup = ds.samples_for("dedup");
         assert!(dedup[0].sequence.is_empty());
@@ -351,5 +725,91 @@ mod tests {
             .unwrap();
             assert_eq!(reference, ds, "num_threads={threads}");
         }
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported_not_fatal() {
+        let platform = X86Platform::new();
+        let apps = two_apps();
+        let clean = DataExtraction::quick().run(&platform, &apps).unwrap();
+        // Pick a budget between the cheapest and most expensive variant so
+        // some datapoints starve and some survive.
+        let mut counts = clean.targets("instructions");
+        counts.sort_by(f64::total_cmp);
+        let budget = counts[counts.len() / 2] as u64;
+        let ds = DataExtraction {
+            interp_fuel: Some(budget),
+            min_success_fraction: 0.0,
+            ..DataExtraction::quick()
+        }
+        .run(&platform, &apps)
+        .unwrap();
+        assert!(!ds.failures.failed.is_empty(), "some variants must starve");
+        assert!(!ds.is_empty(), "some variants must survive");
+        assert!(
+            ds.failures.failed.iter().all(|p| p.reason.contains("fuel")),
+            "failures are fuel exhaustion: {:?}",
+            ds.failures.failed
+        );
+        assert_eq!(ds.len() + ds.failures.failed.len(), 16);
+    }
+
+    #[test]
+    fn too_many_failures_is_an_error() {
+        let platform = X86Platform::new();
+        let apps = two_apps();
+        let err = DataExtraction {
+            interp_fuel: Some(1),
+            ..DataExtraction::quick()
+        }
+        .run(&platform, &apps)
+        .unwrap_err();
+        // With fuel 1 every variant starves: the dataset would be empty.
+        assert!(matches!(err, ExtractionError::NoSamples { .. }), "{err}");
+    }
+
+    #[test]
+    fn killed_run_resumes_from_checkpoint() {
+        let platform = X86Platform::new();
+        let apps = two_apps();
+        let config = DataExtraction {
+            checkpoint_every: 3,
+            ..DataExtraction::quick()
+        };
+        let full = config.run(&platform, &apps).unwrap();
+
+        let path = std::env::temp_dir().join("mlcomp_extraction_ckpt_test.json");
+        let _ = std::fs::remove_file(&path);
+        // "Kill" the first run after 5 of the 16 items.
+        let partial = DataExtraction {
+            max_items_per_run: 5,
+            ..config.clone()
+        }
+        .run_with_checkpoint(&platform, &apps, Some(&path));
+        match partial {
+            Err(ExtractionError::Interrupted { completed, total }) => {
+                assert_eq!(completed, 5);
+                assert_eq!(total, 16);
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        assert!(path.exists(), "checkpoint persisted");
+
+        // The resumed run completes and matches the uninterrupted one.
+        let resumed = config.run_with_checkpoint(&platform, &apps, Some(&path)).unwrap();
+        assert_eq!(full, resumed);
+        assert!(!path.exists(), "checkpoint removed on success");
+    }
+
+    #[test]
+    fn stale_checkpoint_is_ignored() {
+        let platform = X86Platform::new();
+        let apps = two_apps();
+        let path = std::env::temp_dir().join("mlcomp_extraction_stale_ckpt_test.json");
+        std::fs::write(&path, "{\"fingerprint\":1,\"total\":16,\"entries\":[]}").unwrap();
+        let config = DataExtraction::quick();
+        let ds = config.run_with_checkpoint(&platform, &apps, Some(&path)).unwrap();
+        assert_eq!(ds, config.run(&platform, &apps).unwrap());
+        let _ = std::fs::remove_file(&path);
     }
 }

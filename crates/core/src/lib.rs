@@ -41,7 +41,7 @@ pub mod extraction;
 pub mod mlcomp;
 pub mod pss;
 
-pub use dataset::{Dataset, Sample};
+pub use dataset::{Dataset, FailedPoint, FailureReport, QuarantinedPhase, Sample};
 pub use estimator::{EstimatorReport, PerfEstimator};
 pub use extraction::{DataExtraction, ExtractionError};
 pub use mlcomp::{Artifacts, Mlcomp, MlcompConfig};

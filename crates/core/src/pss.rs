@@ -230,8 +230,11 @@ impl Env for CompilerEnv<'_> {
         let mut module = self.module.take().expect("step before reset");
         let phase = registry::PHASE_NAMES[action];
         let before = module.clone();
+        // Sandboxed: a panicking or IR-corrupting phase is rolled back, so
+        // it lands in the `module == before` branch below and is scored
+        // like any other inactive phase — training survives it.
         self.pm
-            .run_phase(&mut module, phase)
+            .run_phase_sandboxed(&mut module, phase, None, phase)
             .expect("registry names are valid");
         if module == before {
             // The phase did nothing: small cost, episode ends after a run
@@ -298,6 +301,7 @@ impl PhaseSequenceSelector {
             max_steps: config.max_seq_len,
             entropy_bonus: 0.01,
             seed: config.seed ^ 0xF00D,
+            ..ReinforceTrainer::default()
         };
         let stats = trainer.train(&mut policy, &mut env);
         (
@@ -327,7 +331,10 @@ impl PhaseSequenceSelector {
             for &action in ranked.iter().take(self.config.max_inactive) {
                 let phase = registry::PHASE_NAMES[action];
                 let before = current.clone();
-                pm.run_phase(&mut current, phase)
+                // Sandboxed: a quarantined phase rolls back to `before`
+                // and falls through to the next-best action, exactly like
+                // an inactive phase in the paper's fallback model.
+                pm.run_phase_sandboxed(&mut current, phase, None, phase)
                     .expect("registry names are valid");
                 if current != before {
                     applied.push(phase);

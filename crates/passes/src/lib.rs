@@ -46,5 +46,8 @@ pub mod sccp;
 pub mod util;
 pub mod vector;
 
-pub use manager::{PassManager, PipelineLevel, UnknownPhaseError};
-pub use registry::{all_phase_names, run_phase_on, PHASE_COUNT};
+pub use manager::{
+    PassManager, PhaseOutcome, PipelineLevel, Quarantine, QuarantineEntry, QuarantineReason,
+    SandboxReport, UnknownPhaseError,
+};
+pub use registry::{all_phase_names, is_registered, run_phase_on, PHASE_COUNT};

@@ -1,9 +1,30 @@
 //! The pass manager: runs named phase sequences and defines the standard
 //! `-O1`/`-O2`/`-O3`/`-Oz` pipelines MLComp is evaluated against.
+//!
+//! # The pass sandbox
+//!
+//! The paper's deployment rules (max inactive subsequence = 8, max
+//! sequence = 128) already treat individual phases as potentially useless;
+//! the sandbox extends that to potentially *harmful*. Each phase of
+//! [`PassManager::run_sequence_sandboxed`] runs under
+//! [`std::panic::catch_unwind`] against a snapshot of the module: if the
+//! phase panics — or the post-phase verifier rejects its output — the
+//! module rolls back and the phase lands in a [`Quarantine`] report
+//! instead of killing the pipeline. Semantically a quarantined phase *is*
+//! an inactive phase, which is exactly the failure model the paper's
+//! fallback rules assume.
+//!
+//! Deterministic fault injection plugs in through an optional
+//! [`mlcomp_faults::FaultPlan`]; with `None` the sandbox adds nothing but
+//! the per-phase verification, and the module trajectory is bit-identical
+//! to [`PassManager::run_sequence`] on healthy phases.
 
-use crate::registry::run_phase_on;
+use crate::registry::{is_registered, run_phase_on};
+use mlcomp_faults::{FaultKind, FaultPlan, INJECTED_PANIC_PREFIX};
 use mlcomp_ir::Module;
+use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Standard optimization levels, approximating LLVM's legacy pipelines at
 /// the granularity of Table VI's phases.
@@ -188,6 +209,80 @@ impl fmt::Display for UnknownPhaseError {
 
 impl std::error::Error for UnknownPhaseError {}
 
+/// Why the sandbox pulled a phase out of a sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuarantineReason {
+    /// The phase panicked mid-transform; the payload message is kept.
+    Panic(String),
+    /// The post-phase verifier rejected the transformed module.
+    VerifierReject(String),
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::Panic(msg) => write!(f, "panicked: {msg}"),
+            QuarantineReason::VerifierReject(msg) => write!(f, "verifier rejected output: {msg}"),
+        }
+    }
+}
+
+/// One quarantined phase occurrence within a sandboxed sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// Position of the phase in the requested sequence.
+    pub index: usize,
+    /// Phase name.
+    pub phase: String,
+    /// What went wrong.
+    pub reason: QuarantineReason,
+}
+
+/// The sandbox's record of every phase that was rolled back.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quarantine {
+    /// Quarantined phases, in sequence order.
+    pub entries: Vec<QuarantineEntry>,
+}
+
+impl Quarantine {
+    /// Number of quarantined phase occurrences.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether some occurrence of `phase` was quarantined.
+    pub fn contains(&self, phase: &str) -> bool {
+        self.entries.iter().any(|e| e.phase == phase)
+    }
+}
+
+/// Outcome of one phase run under the sandbox.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhaseOutcome {
+    /// The phase ran, verified clean, and changed the module.
+    Changed,
+    /// The phase ran and verified clean but left the module untouched.
+    Unchanged,
+    /// The phase panicked or broke the IR; the module was rolled back.
+    Quarantined(QuarantineReason),
+}
+
+/// What [`PassManager::run_sequence_sandboxed`] returns: progress plus the
+/// quarantine record.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SandboxReport {
+    /// Number of phases that ran cleanly and changed the module.
+    pub changed: usize,
+    /// Every rolled-back phase.
+    pub quarantine: Quarantine,
+}
+
 /// Runs phases and pipelines over modules, optionally verifying the IR
 /// after every phase (used pervasively in tests; cheap enough to leave on
 /// for experiments too).
@@ -231,15 +326,20 @@ impl PassManager {
 
     /// Runs a sequence of phases; returns the number that reported changes.
     ///
+    /// The whole sequence is validated against the registry *before* any
+    /// phase runs, so an unknown name can never leave the module
+    /// half-optimized.
+    ///
     /// # Errors
     ///
-    /// Returns [`UnknownPhaseError`] on the first unknown name (earlier
-    /// phases stay applied).
+    /// Returns [`UnknownPhaseError`] naming the first unregistered phase;
+    /// the module is untouched in that case.
     pub fn run_sequence<'a>(
         &self,
         m: &mut Module,
         names: impl IntoIterator<Item = &'a str>,
     ) -> Result<usize, UnknownPhaseError> {
+        let names = validate_sequence(names)?;
         let mut changed = 0;
         for name in names {
             if self.run_phase(m, name)? {
@@ -249,11 +349,126 @@ impl PassManager {
         Ok(changed)
     }
 
+    /// Runs one phase inside the sandbox: panics are caught, the module is
+    /// verified afterwards, and any failure rolls the module back to its
+    /// pre-phase state.
+    ///
+    /// `plan` is the deterministic fault-injection hook (`None` injects
+    /// nothing); `site_key` identifies this phase occurrence for the plan —
+    /// it should encode work identity (app, sequence, position), never
+    /// execution order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownPhaseError`] if the name is not registered (the
+    /// module is untouched).
+    pub fn run_phase_sandboxed(
+        &self,
+        m: &mut Module,
+        name: &str,
+        plan: Option<&FaultPlan>,
+        site_key: &str,
+    ) -> Result<PhaseOutcome, UnknownPhaseError> {
+        if !is_registered(name) {
+            return Err(UnknownPhaseError(name.to_string()));
+        }
+        let snapshot = m.clone();
+        // AssertUnwindSafe: on unwind the module may be mid-transform, but
+        // the only thing we do with it afterwards is overwrite it with the
+        // snapshot — the broken state never escapes.
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(p) = plan {
+                p.maybe_panic(site_key);
+            }
+            run_phase_on(m, name).expect("name validated against registry")
+        }));
+        match ran {
+            Ok(changed) => {
+                let rejection = match mlcomp_ir::verify(m) {
+                    Err(e) => Some(e.to_string()),
+                    Ok(()) if plan.is_some_and(|p| p.fires(FaultKind::VerifierCorrupt, site_key)) => {
+                        Some(format!(
+                            "{INJECTED_PANIC_PREFIX} verifier corruption at `{site_key}`"
+                        ))
+                    }
+                    Ok(()) => None,
+                };
+                if let Some(msg) = rejection {
+                    *m = snapshot;
+                    Ok(PhaseOutcome::Quarantined(QuarantineReason::VerifierReject(
+                        msg,
+                    )))
+                } else if changed {
+                    Ok(PhaseOutcome::Changed)
+                } else {
+                    Ok(PhaseOutcome::Unchanged)
+                }
+            }
+            Err(payload) => {
+                *m = snapshot;
+                Ok(PhaseOutcome::Quarantined(QuarantineReason::Panic(
+                    mlcomp_faults::panic_reason(payload.as_ref()),
+                )))
+            }
+        }
+    }
+
+    /// Runs a phase sequence with every phase sandboxed: a panicking or
+    /// IR-breaking phase is rolled back, recorded in the report's
+    /// [`Quarantine`], and the sequence *continues* — the semantics of
+    /// "this phase was inactive", matching the paper's fallback model.
+    ///
+    /// The sequence is validated up front; with `plan = None` and healthy
+    /// phases the module ends up bit-identical to
+    /// [`PassManager::run_sequence`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownPhaseError`] naming the first unregistered phase;
+    /// the module is untouched in that case.
+    pub fn run_sequence_sandboxed<'a>(
+        &self,
+        m: &mut Module,
+        names: impl IntoIterator<Item = &'a str>,
+        plan: Option<&FaultPlan>,
+        site_prefix: &str,
+    ) -> Result<SandboxReport, UnknownPhaseError> {
+        let names = validate_sequence(names)?;
+        let mut report = SandboxReport::default();
+        for (index, name) in names.iter().enumerate() {
+            let site_key = format!("{site_prefix}|{index}|{name}");
+            match self.run_phase_sandboxed(m, name, plan, &site_key)? {
+                PhaseOutcome::Changed => report.changed += 1,
+                PhaseOutcome::Unchanged => {}
+                PhaseOutcome::Quarantined(reason) => {
+                    report.quarantine.entries.push(QuarantineEntry {
+                        index,
+                        phase: name.to_string(),
+                        reason,
+                    });
+                }
+            }
+        }
+        Ok(report)
+    }
+
     /// Runs a standard pipeline level.
     pub fn run_level(&self, m: &mut Module, level: PipelineLevel) -> usize {
         self.run_sequence(m, level.phases().iter().copied())
             .expect("pipeline levels only use registered phases")
     }
+}
+
+/// Collects a sequence and checks every name against the registry,
+/// returning the first unknown one as an error.
+fn validate_sequence<'a>(
+    names: impl IntoIterator<Item = &'a str>,
+) -> Result<Vec<&'a str>, UnknownPhaseError> {
+    let names: Vec<&str> = names.into_iter().collect();
+    if let Some(bad) = names.iter().find(|n| !is_registered(n)) {
+        return Err(UnknownPhaseError(bad.to_string()));
+    }
+    Ok(names)
 }
 
 #[cfg(test)]
@@ -343,6 +558,125 @@ mod tests {
         let err = pm.run_phase(&mut m, "fuse-everything").unwrap_err();
         assert_eq!(err, UnknownPhaseError("fuse-everything".into()));
         assert!(err.to_string().contains("fuse-everything"));
+    }
+
+    #[test]
+    fn unknown_phase_mid_sequence_leaves_module_untouched() {
+        // Regression: an unknown name used to abort mid-sequence with the
+        // earlier phases already applied and no way to tell.
+        let mut m = workload();
+        let pristine = m.clone();
+        let pm = PassManager::new();
+        let err = pm
+            .run_sequence(&mut m, ["mem2reg", "fuse-everything", "sccp"])
+            .unwrap_err();
+        assert_eq!(err, UnknownPhaseError("fuse-everything".into()));
+        assert_eq!(m, pristine, "no phase may run when validation fails");
+        // Same contract for the sandboxed variant.
+        let err = pm
+            .run_sequence_sandboxed(&mut m, ["gvn", "nope"], None, "t")
+            .unwrap_err();
+        assert_eq!(err, UnknownPhaseError("nope".into()));
+        assert_eq!(m, pristine);
+    }
+
+    #[test]
+    fn sandbox_matches_plain_run_on_healthy_phases() {
+        let mut plain = workload();
+        let mut sandboxed = workload();
+        let pm = PassManager::new();
+        let seq: Vec<&str> = PipelineLevel::O2.phases().to_vec();
+        let changed = pm.run_sequence(&mut plain, seq.iter().copied()).unwrap();
+        let report = pm
+            .run_sequence_sandboxed(&mut sandboxed, seq.iter().copied(), None, "w")
+            .unwrap();
+        assert_eq!(plain, sandboxed, "zero-fault sandbox must be bit-identical");
+        assert_eq!(report.changed, changed);
+        assert!(report.quarantine.is_empty());
+    }
+
+    #[test]
+    fn sandbox_rolls_back_injected_panics_and_quarantines_them() {
+        use mlcomp_faults::{FaultKind, FaultPlan};
+        let plan = FaultPlan::from_seed(11).with_rate(FaultKind::PhasePanic, 1.0);
+        let reference = run_main(&workload(), 37).0;
+        let mut m = workload();
+        let pristine = m.clone();
+        let pm = PassManager::new();
+        let report = pm
+            .run_sequence_sandboxed(
+                &mut m,
+                PipelineLevel::O2.phases().iter().copied(),
+                Some(&plan),
+                "w",
+            )
+            .unwrap();
+        // Rate 1.0: every phase panics, every phase is quarantined, and the
+        // module survives untouched.
+        assert_eq!(report.changed, 0);
+        assert_eq!(report.quarantine.len(), PipelineLevel::O2.phases().len());
+        assert!(report
+            .quarantine
+            .entries
+            .iter()
+            .all(|e| matches!(e.reason, QuarantineReason::Panic(_))));
+        assert_eq!(m, pristine);
+        assert_eq!(run_main(&m, 37).0, reference);
+    }
+
+    #[test]
+    fn sandbox_quarantines_injected_verifier_corruption() {
+        use mlcomp_faults::{FaultKind, FaultPlan};
+        let plan = FaultPlan::from_seed(5).with_rate(FaultKind::VerifierCorrupt, 1.0);
+        let mut m = workload();
+        let pristine = m.clone();
+        let pm = PassManager::new();
+        let outcome = pm
+            .run_phase_sandboxed(&mut m, "mem2reg", Some(&plan), "w|0|mem2reg")
+            .unwrap();
+        assert!(
+            matches!(
+                outcome,
+                PhaseOutcome::Quarantined(QuarantineReason::VerifierReject(_))
+            ),
+            "{outcome:?}"
+        );
+        assert_eq!(m, pristine, "corrupted output must be rolled back");
+    }
+
+    #[test]
+    fn partial_injection_still_preserves_behaviour() {
+        use mlcomp_faults::{FaultKind, FaultPlan};
+        let plan = FaultPlan::from_seed(99).with_rate(FaultKind::PhasePanic, 0.4);
+        let reference = run_main(&workload(), 23).0;
+        let mut m = workload();
+        let pm = PassManager::new();
+        let report = pm
+            .run_sequence_sandboxed(
+                &mut m,
+                PipelineLevel::O3.phases().iter().copied(),
+                Some(&plan),
+                "w",
+            )
+            .unwrap();
+        assert!(
+            !report.quarantine.is_empty() && report.changed > 0,
+            "40% rate over the O3 pipeline should both quarantine and progress: {report:?}"
+        );
+        mlcomp_ir::verify(&m).unwrap();
+        assert_eq!(run_main(&m, 23).0, reference, "semantics preserved under faults");
+        // Same plan, same module, same prefix → same trajectory.
+        let mut again = workload();
+        let replay = pm
+            .run_sequence_sandboxed(
+                &mut again,
+                PipelineLevel::O3.phases().iter().copied(),
+                Some(&plan),
+                "w",
+            )
+            .unwrap();
+        assert_eq!(m, again);
+        assert_eq!(report, replay);
     }
 
     #[test]

@@ -64,6 +64,12 @@ pub fn all_phase_names() -> &'static [&'static str] {
     &PHASE_NAMES
 }
 
+/// Whether `name` is a registered phase — the cheap pre-flight check the
+/// pass manager uses to validate whole sequences before mutating a module.
+pub fn is_registered(name: &str) -> bool {
+    PHASE_NAMES.contains(&name)
+}
+
 /// Runs one phase by name over a module. Returns `Some(changed)` or `None`
 /// for unknown names.
 ///
@@ -179,5 +185,16 @@ mod tests {
     fn unknown_phase_is_none() {
         let mut m = mlcomp_ir::Module::new("t");
         assert_eq!(run_phase_on(&mut m, "no-such-phase"), None);
+    }
+
+    #[test]
+    fn is_registered_agrees_with_run_phase_on() {
+        let mut m = mlcomp_ir::Module::new("t");
+        for name in PHASE_NAMES {
+            assert!(is_registered(name));
+            assert!(run_phase_on(&mut m, name).is_some());
+        }
+        assert!(!is_registered("no-such-phase"));
+        assert!(!is_registered(""));
     }
 }

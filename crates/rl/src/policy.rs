@@ -120,22 +120,14 @@ impl PolicyNet {
     pub fn ranked_actions(&self, x: &[f64]) -> Vec<usize> {
         let probs = self.probabilities(x);
         let mut idx: Vec<usize> = (0..probs.len()).collect();
-        idx.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).unwrap());
+        idx.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]));
         idx
     }
 
     /// Samples an action from the policy distribution.
     pub fn sample_action(&self, x: &[f64], rng: &mut rand::rngs::StdRng) -> usize {
         let probs = self.probabilities(x);
-        let roll: f64 = rng.gen_range(0.0..1.0);
-        let mut acc = 0.0;
-        for (a, p) in probs.iter().enumerate() {
-            acc += p;
-            if roll < acc {
-                return a;
-            }
-        }
-        probs.len() - 1
+        sample_index(&probs, rng.gen_range(0.0..1.0))
     }
 
     /// Accumulates the REINFORCE gradient of `−advantage · log π(action|x)`
@@ -230,17 +222,53 @@ impl PolicyNet {
     }
 }
 
+/// Numerically-guarded softmax: non-finite logits (overflowed weights,
+/// poisoned features) fall back to the uniform distribution instead of
+/// emitting NaN probabilities that would poison sampling and gradients.
+/// All-finite logits produce bit-identical results to the unguarded form.
 fn softmax(logits: &[f64]) -> Vec<f64> {
+    let n = logits.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if logits.iter().any(|l| !l.is_finite()) {
+        return vec![1.0 / n as f64; n];
+    }
     let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
     let sum: f64 = exps.iter().sum();
+    if !sum.is_finite() || sum <= 0.0 {
+        return vec![1.0 / n as f64; n];
+    }
     exps.iter().map(|e| e / sum).collect()
+}
+
+/// Samples an index from `probs` given a uniform `roll` in `[0, 1)` by
+/// walking the CDF. Degenerate vectors — non-finite, negative or all-zero
+/// entries — fall back to a uniform pick instead of silently biasing
+/// toward the last index.
+pub(crate) fn sample_index(probs: &[f64], roll: f64) -> usize {
+    let n = probs.len();
+    assert!(n > 0, "empty probability vector");
+    let degenerate =
+        probs.iter().any(|p| !p.is_finite() || *p < 0.0) || probs.iter().sum::<f64>() <= 0.0;
+    if degenerate {
+        return ((roll * n as f64) as usize).min(n - 1);
+    }
+    let mut acc = 0.0;
+    for (a, p) in probs.iter().enumerate() {
+        acc += p;
+        if roll < acc {
+            return a;
+        }
+    }
+    n - 1
 }
 
 fn argmax(xs: &[f64]) -> usize {
     xs.iter()
         .enumerate()
-        .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+        .max_by(|(_, a), (_, b)| a.total_cmp(b))
         .map(|(i, _)| i)
         .unwrap_or(0)
 }
@@ -339,5 +367,49 @@ mod tests {
     #[should_panic(expected = "state dimension mismatch")]
     fn wrong_input_size_panics() {
         PolicyNet::new(3, 16, 2, 0).forward(&[1.0]);
+    }
+
+    #[test]
+    fn softmax_falls_back_to_uniform_on_nonfinite_logits() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let probs = softmax(&[0.0, bad, 1.0]);
+            assert_eq!(probs, vec![1.0 / 3.0; 3], "logit {bad}");
+        }
+        // Extreme but finite logits still form a proper distribution.
+        let probs = softmax(&[1e308, -1e308, 0.0]);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(probs.iter().all(|p| p.is_finite()));
+        assert_eq!(probs[0], 1.0);
+    }
+
+    #[test]
+    fn sample_index_handles_degenerate_distributions() {
+        // All-zero, NaN-poisoned and negative vectors sample uniformly.
+        for probs in [vec![0.0; 4], vec![f64::NAN; 4], vec![-1.0, 2.0, 0.0, 0.0]] {
+            assert_eq!(sample_index(&probs, 0.0), 0, "{probs:?}");
+            assert_eq!(sample_index(&probs, 0.49), 1, "{probs:?}");
+            assert_eq!(sample_index(&probs, 0.999), 3, "{probs:?}");
+        }
+        // A healthy distribution follows the CDF exactly as before.
+        let probs = [0.25, 0.25, 0.5];
+        assert_eq!(sample_index(&probs, 0.1), 0);
+        assert_eq!(sample_index(&probs, 0.3), 1);
+        assert_eq!(sample_index(&probs, 0.9), 2);
+    }
+
+    #[test]
+    fn poisoned_network_still_yields_decisions() {
+        let mut net = PolicyNet::new(2, 4, 3, 7);
+        // Blast every parameter to +inf; the forward pass then produces
+        // non-finite logits and every decision path must survive it.
+        let blast = vec![f64::NEG_INFINITY; net.param_count()];
+        net.apply_gradients(&blast, 1.0);
+        let x = [0.5, -0.5];
+        let probs = net.probabilities(&x);
+        assert_eq!(probs, vec![1.0 / 3.0; 3]);
+        assert!(net.best_action(&x) < 3);
+        assert_eq!(net.ranked_actions(&x).len(), 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        assert!(net.sample_action(&x, &mut rng) < 3);
     }
 }

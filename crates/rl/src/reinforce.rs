@@ -1,7 +1,16 @@
 //! REINFORCE training (the paper's Algorithm 2): batches of episodes,
 //! discounted returns, batch-mean baseline, policy-gradient ascent.
+//!
+//! Training is guarded against a misbehaving environment or estimator:
+//! episodes that produce a non-finite reward or state are aborted and
+//! counted (not trained on), gradient updates whose components are
+//! non-finite are dropped, and finite gradients are clipped to an L2-norm
+//! ceiling ([`ReinforceTrainer::grad_clip`]) so one pathological batch
+//! cannot blow up the policy weights. Healthy runs are unaffected: the
+//! guards only reject values that would already have poisoned the policy.
 
-use crate::policy::PolicyNet;
+use crate::policy::{sample_index, PolicyNet};
+use rand::Rng;
 use rand::SeedableRng;
 
 /// An episodic environment with a fixed-dimensional observation and a
@@ -22,10 +31,13 @@ pub trait Env {
 pub struct TrainingStats {
     /// Episodes completed so far.
     pub episodes: usize,
-    /// Mean undiscounted episode return in the batch.
+    /// Mean undiscounted episode return in the batch (over episodes that
+    /// completed; 0 when every episode aborted).
     pub mean_return: f64,
-    /// Mean episode length in the batch.
+    /// Mean episode length in the batch (over episodes that completed).
     pub mean_length: f64,
+    /// Episodes in the batch aborted for non-finite rewards or states.
+    pub aborted_episodes: usize,
 }
 
 /// The REINFORCE trainer with Table V's hyper-parameters as defaults
@@ -45,6 +57,10 @@ pub struct ReinforceTrainer {
     /// Entropy-bonus coefficient: keeps the softmax from collapsing onto a
     /// few actions before the reward signal is trustworthy (0 disables).
     pub entropy_bonus: f64,
+    /// L2-norm ceiling on each batch gradient; larger gradients are scaled
+    /// down to it (0 disables clipping). The generous default never
+    /// triggers on healthy training and exists to stop runaway updates.
+    pub grad_clip: f64,
     /// Sampling seed.
     pub seed: u64,
 }
@@ -58,6 +74,7 @@ impl Default for ReinforceTrainer {
             gamma: 0.99,
             max_steps: 128,
             entropy_bonus: 0.01,
+            grad_clip: 100.0,
             seed: 1234,
         }
     }
@@ -88,21 +105,37 @@ impl ReinforceTrainer {
             let mut all_steps: Vec<(crate::policy::Forward, usize, f64)> = Vec::new();
             let mut batch_return = 0.0;
             let mut batch_len = 0.0;
+            let mut completed = 0usize;
+            let mut aborted = 0usize;
             for _ in 0..batch {
                 let mut state = env.reset();
                 let mut rewards: Vec<f64> = Vec::new();
                 let mut steps: Vec<(crate::policy::Forward, usize)> = Vec::new();
-                for _ in 0..self.max_steps {
-                    let fwd = policy.forward(&state);
-                    let action = sample_from(&fwd.probs, &mut rng);
-                    let (next, reward, done) = env.step(action);
-                    steps.push((fwd, action));
-                    rewards.push(reward);
-                    state = next;
-                    if done {
-                        break;
+                let mut poisoned = !state.iter().all(|v| v.is_finite());
+                if !poisoned {
+                    for _ in 0..self.max_steps {
+                        let fwd = policy.forward(&state);
+                        let action = sample_index(&fwd.probs, rng.gen_range(0.0..1.0));
+                        let (next, reward, done) = env.step(action);
+                        if !reward.is_finite() || !next.iter().all(|v| v.is_finite()) {
+                            // A NaN/inf reward or state would poison every
+                            // return of the episode; abort it and move on.
+                            poisoned = true;
+                            break;
+                        }
+                        steps.push((fwd, action));
+                        rewards.push(reward);
+                        state = next;
+                        if done {
+                            break;
+                        }
                     }
                 }
+                if poisoned {
+                    aborted += 1;
+                    continue;
+                }
+                completed += 1;
                 batch_return += rewards.iter().sum::<f64>();
                 batch_len += rewards.len() as f64;
                 // Discounted returns G_t.
@@ -117,44 +150,56 @@ impl ReinforceTrainer {
                 }
             }
             episode_count += batch;
-            if all_steps.is_empty() {
-                continue;
-            }
-            // Baseline: batch-mean return (variance reduction).
-            let baseline =
-                all_steps.iter().map(|(_, _, g)| g).sum::<f64>() / all_steps.len() as f64;
-            let mut grads = vec![0.0; policy.param_count()];
-            let scale = 1.0 / all_steps.len() as f64;
-            for (fwd, action, g) in &all_steps {
-                policy.accumulate_gradient(fwd, *action, (g - baseline) * scale, &mut grads);
-                if self.entropy_bonus > 0.0 {
-                    policy.accumulate_entropy_gradient(fwd, self.entropy_bonus * scale, &mut grads);
+            if !all_steps.is_empty() {
+                // Baseline: batch-mean return (variance reduction).
+                let baseline =
+                    all_steps.iter().map(|(_, _, g)| g).sum::<f64>() / all_steps.len() as f64;
+                let mut grads = vec![0.0; policy.param_count()];
+                let scale = 1.0 / all_steps.len() as f64;
+                for (fwd, action, g) in &all_steps {
+                    policy.accumulate_gradient(fwd, *action, (g - baseline) * scale, &mut grads);
+                    if self.entropy_bonus > 0.0 {
+                        policy.accumulate_entropy_gradient(
+                            fwd,
+                            self.entropy_bonus * scale,
+                            &mut grads,
+                        );
+                    }
                 }
+                if grads.iter().all(|g| g.is_finite()) {
+                    if self.grad_clip > 0.0 {
+                        let norm = grads.iter().map(|g| g * g).sum::<f64>().sqrt();
+                        if norm > self.grad_clip {
+                            let shrink = self.grad_clip / norm;
+                            for g in grads.iter_mut() {
+                                *g *= shrink;
+                            }
+                        }
+                    }
+                    policy.apply_gradients(&grads, self.learning_rate);
+                }
+                // Non-finite gradients are dropped whole: losing one update
+                // is recoverable, poisoned weights are not.
             }
-            policy.apply_gradients(&grads, self.learning_rate);
             let s = TrainingStats {
                 episodes: episode_count,
-                mean_return: batch_return / batch as f64,
-                mean_length: batch_len / batch as f64,
+                mean_return: if completed > 0 {
+                    batch_return / completed as f64
+                } else {
+                    0.0
+                },
+                mean_length: if completed > 0 {
+                    batch_len / completed as f64
+                } else {
+                    0.0
+                },
+                aborted_episodes: aborted,
             };
             on_batch(&s);
             stats.push(s);
         }
         stats
     }
-}
-
-fn sample_from(probs: &[f64], rng: &mut rand::rngs::StdRng) -> usize {
-    use rand::Rng;
-    let roll: f64 = rng.gen_range(0.0..1.0);
-    let mut acc = 0.0;
-    for (a, p) in probs.iter().enumerate() {
-        acc += p;
-        if roll < acc {
-            return a;
-        }
-    }
-    probs.len() - 1
 }
 
 #[cfg(test)]
@@ -272,5 +317,125 @@ mod tests {
             flip: false,
         };
         ReinforceTrainer::default().train(&mut policy, &mut env);
+    }
+
+    /// Wraps [`ContextBandit`] but poisons every `poison_every`-th episode
+    /// with a NaN reward.
+    struct FlakyBandit {
+        inner: ContextBandit,
+        episode: u32,
+        poison_every: u32,
+    }
+
+    impl Env for FlakyBandit {
+        fn state_dim(&self) -> usize {
+            self.inner.state_dim()
+        }
+        fn action_count(&self) -> usize {
+            self.inner.action_count()
+        }
+        fn reset(&mut self) -> Vec<f64> {
+            self.episode += 1;
+            self.inner.reset()
+        }
+        fn step(&mut self, action: usize) -> (Vec<f64>, f64, bool) {
+            let (s, r, d) = self.inner.step(action);
+            if self.episode.is_multiple_of(self.poison_every) {
+                (s, f64::NAN, d)
+            } else {
+                (s, r, d)
+            }
+        }
+    }
+
+    #[test]
+    fn nan_rewards_abort_episodes_but_training_continues() {
+        let mut policy = PolicyNet::new(1, 16, 2, 5);
+        let trainer = ReinforceTrainer {
+            episodes: 600,
+            ..Default::default()
+        };
+        let mut env = FlakyBandit {
+            inner: ContextBandit {
+                state: 1.0,
+                pulls: 0,
+                flip: false,
+            },
+            episode: 0,
+            poison_every: 5,
+        };
+        let stats = trainer.train(&mut policy, &mut env);
+        let aborted: usize = stats.iter().map(|s| s.aborted_episodes).sum();
+        assert!(aborted >= 600 / 5 - 1, "every 5th episode aborts: {aborted}");
+        // Training still learns the contextual rule from the healthy 80%.
+        assert_eq!(policy.best_action(&[1.0]), 0);
+        assert_eq!(policy.best_action(&[-1.0]), 1);
+        assert!(policy.probabilities(&[1.0]).iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn fully_poisoned_env_leaves_policy_untouched() {
+        struct NanEnv;
+        impl Env for NanEnv {
+            fn state_dim(&self) -> usize {
+                1
+            }
+            fn action_count(&self) -> usize {
+                2
+            }
+            fn reset(&mut self) -> Vec<f64> {
+                vec![0.0]
+            }
+            fn step(&mut self, _action: usize) -> (Vec<f64>, f64, bool) {
+                (vec![0.0], f64::NAN, false)
+            }
+        }
+        let mut policy = PolicyNet::new(1, 16, 2, 5);
+        let before = policy.clone();
+        let trainer = ReinforceTrainer {
+            episodes: 12,
+            ..Default::default()
+        };
+        let stats = trainer.train(&mut policy, &mut NanEnv);
+        assert_eq!(policy, before, "no update from aborted episodes");
+        assert_eq!(stats.last().unwrap().episodes, 12);
+        assert!(stats.iter().all(|s| s.aborted_episodes == 6));
+        assert!(stats.iter().all(|s| s.mean_return == 0.0));
+    }
+
+    #[test]
+    fn gradient_clipping_bounds_the_update() {
+        let mk = |clip: f64| {
+            let mut policy = PolicyNet::new(1, 16, 2, 5);
+            let trainer = ReinforceTrainer {
+                episodes: 12,
+                grad_clip: clip,
+                ..Default::default()
+            };
+            let mut env = ContextBandit {
+                state: 1.0,
+                pulls: 0,
+                flip: false,
+            };
+            trainer.train(&mut policy, &mut env);
+            policy
+        };
+        let frozen = mk(1e-12);
+        let trained = mk(0.0); // clipping disabled
+        // A near-zero clip freezes learning; disabled clipping moves the
+        // policy — i.e. the ceiling really bounds the applied update.
+        let init = PolicyNet::new(1, 16, 2, 5);
+        let (pi, pf, pt) = (
+            init.probabilities(&[1.0]),
+            frozen.probabilities(&[1.0]),
+            trained.probabilities(&[1.0]),
+        );
+        for (a, b) in pi.iter().zip(&pf) {
+            assert!((a - b).abs() < 1e-9, "clipped to ~0: {a} vs {b}");
+        }
+        assert!(
+            pi.iter().zip(&pt).any(|(a, b)| (a - b).abs() > 1e-6),
+            "unclipped training must move the policy"
+        );
     }
 }

@@ -5,6 +5,7 @@
 //! This facade crate re-exports the whole workspace:
 //!
 //! * [`ir`] — the SSA compiler IR and profiling interpreter;
+//! * [`faults`] — deterministic fault injection for robustness testing;
 //! * [`passes`] — the 48 Table-VI optimization phases and pass manager;
 //! * [`features`] — 63 Milepost-style static code features;
 //! * [`platform`] — x86 and RISC-V cost models and the profiler;
@@ -19,6 +20,7 @@
 //! system inventory.
 
 pub use mlcomp_core as core;
+pub use mlcomp_faults as faults;
 pub use mlcomp_features as features;
 pub use mlcomp_ir as ir;
 pub use mlcomp_linalg as linalg;

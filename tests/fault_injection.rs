@@ -1,0 +1,209 @@
+//! Fault-injection integration tests: the supervision layer must keep the
+//! pipeline correct, deterministic and fully reporting while phases panic,
+//! the verifier rejects modules, the interpreter starves and workers die.
+//!
+//! The fault seed can be varied from outside (CI runs a small seed matrix)
+//! via `MLCOMP_FAULT_SEED`; with the variable unset a fixed seed is used,
+//! so a plain `cargo test` is reproducible.
+
+use mlcomp::core::{DataExtraction, ExtractionError};
+use mlcomp::faults::{quiet_injected_panics, FaultPlan};
+use mlcomp::passes::{registry, PassManager};
+use mlcomp::platform::X86Platform;
+use mlcomp::suites::BenchProgram;
+use proptest::prelude::*;
+
+/// The plan under test: `MLCOMP_FAULT_SEED` if set (the CI seed matrix),
+/// otherwise a fixed chaos plan (~10% phase panics, 5% verifier
+/// corruption, 5% fuel starvation, 10% transient worker deaths).
+fn fault_plan() -> FaultPlan {
+    FaultPlan::from_env().unwrap_or_else(|| FaultPlan::chaos(20210))
+}
+
+fn sample_programs() -> Vec<BenchProgram> {
+    let names = ["blackscholes", "dedup", "crc32", "qsort"];
+    mlcomp::suites::parsec_suite()
+        .into_iter()
+        .chain(mlcomp::suites::beebs_suite())
+        .filter(|p| names.contains(&p.name))
+        .collect()
+}
+
+fn small_suite() -> Vec<BenchProgram> {
+    mlcomp::suites::parsec_suite()
+        .into_iter()
+        .filter(|p| ["dedup", "vips", "blackscholes"].contains(&p.name))
+        .collect()
+}
+
+#[test]
+fn zero_rate_plan_is_bit_identical_to_no_plan() {
+    // The injection hook must be free when disabled: an all-zero plan
+    // takes the exact same path as no plan at all.
+    let platform = X86Platform::new();
+    let apps = small_suite();
+    let without = DataExtraction::quick().run(&platform, &apps).unwrap();
+    let with = DataExtraction {
+        fault_plan: Some(FaultPlan::from_seed(99)),
+        ..DataExtraction::quick()
+    }
+    .run(&platform, &apps)
+    .unwrap();
+    assert_eq!(
+        serde_json::to_string(&without).unwrap(),
+        serde_json::to_string(&with).unwrap()
+    );
+    assert!(without.failures.is_empty());
+}
+
+#[test]
+fn chaos_run_completes_and_accounts_for_every_datapoint() {
+    let platform = X86Platform::new();
+    let apps = small_suite();
+    let ds = DataExtraction {
+        fault_plan: Some(fault_plan()),
+        min_success_fraction: 0.0,
+        ..DataExtraction::quick()
+    }
+    .run(&platform, &apps)
+    .unwrap();
+    // Every (app, variant) item is either a sample or a reported failure.
+    let total = apps.len() * 8;
+    assert_eq!(ds.len() + ds.failures.failed.len(), total);
+    for q in &ds.failures.quarantined {
+        assert!(registry::is_registered(&q.phase), "unknown phase {:?}", q);
+        assert!(!q.reason.is_empty());
+    }
+    for f in &ds.failures.failed {
+        assert!(f.attempts >= 1, "attempts recorded: {f:?}");
+        assert!(!f.reason.is_empty());
+    }
+}
+
+#[test]
+fn faulty_extraction_is_bit_identical_across_thread_counts() {
+    // Fault decisions are pure functions of (plan seed, site key), so the
+    // chaos dataset — samples, quarantines and failures — must not depend
+    // on worker scheduling.
+    let platform = X86Platform::new();
+    let apps = small_suite();
+    let plan = fault_plan();
+    let config = |threads: usize| DataExtraction {
+        num_threads: threads,
+        fault_plan: Some(plan),
+        min_success_fraction: 0.0,
+        ..DataExtraction::quick()
+    };
+    let reference = config(1).run(&platform, &apps).unwrap();
+    let reference_json = serde_json::to_string(&reference).unwrap();
+    assert!(
+        !reference.failures.is_empty(),
+        "the chaos plan should injure something in 24 datapoints"
+    );
+    for threads in [4usize, 8] {
+        let ds = config(threads).run(&platform, &apps).unwrap();
+        assert_eq!(
+            reference_json,
+            serde_json::to_string(&ds).unwrap(),
+            "chaos dataset must be byte-identical at num_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn killed_faulty_run_resumes_identically() {
+    let platform = X86Platform::new();
+    let apps = small_suite();
+    let plan = fault_plan();
+    let config = DataExtraction {
+        fault_plan: Some(plan),
+        min_success_fraction: 0.0,
+        checkpoint_every: 4,
+        ..DataExtraction::quick()
+    };
+    let full = config.run(&platform, &apps).unwrap();
+
+    let path = std::env::temp_dir().join(format!("mlcomp_fault_ckpt_{}.json", plan.seed));
+    let _ = std::fs::remove_file(&path);
+    let partial = DataExtraction {
+        max_items_per_run: 7,
+        ..config.clone()
+    }
+    .run_with_checkpoint(&platform, &apps, Some(&path));
+    assert!(
+        matches!(partial, Err(ExtractionError::Interrupted { .. })),
+        "{partial:?}"
+    );
+    assert!(path.exists(), "checkpoint persisted at the kill point");
+
+    let resumed = config
+        .run_with_checkpoint(&platform, &apps, Some(&path))
+        .unwrap();
+    assert_eq!(
+        serde_json::to_string(&full).unwrap(),
+        serde_json::to_string(&resumed).unwrap(),
+        "resumed run must equal the uninterrupted one byte for byte"
+    );
+    assert!(!path.exists(), "checkpoint removed after success");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random long phase sequences under injected faults: whatever panics
+    /// or corrupts, the surviving module must behave exactly like the
+    /// unoptimized (-O0) program, every skipped phase must sit in the
+    /// quarantine report, and replaying the same plan must be
+    /// bit-identical.
+    #[test]
+    fn faulty_sequences_preserve_behaviour(
+        program_idx in 0usize..4,
+        phase_indices in prop::collection::vec(0usize..registry::PHASE_COUNT, 1..48),
+    ) {
+        quiet_injected_panics();
+        let programs = sample_programs();
+        let program = &programs[program_idx];
+        let reference = program.run_default().expect("baseline executes");
+        let plan = fault_plan();
+        let pm = PassManager::new();
+        let names: Vec<&str> = phase_indices
+            .iter()
+            .map(|&i| registry::PHASE_NAMES[i])
+            .collect();
+
+        let mut variant = program.clone();
+        let report = pm
+            .run_sequence_sandboxed(
+                &mut variant.module,
+                names.iter().copied(),
+                Some(&plan),
+                program.name,
+            )
+            .expect("all names are registered");
+        // Every quarantine entry points at the phase occurrence it pulled.
+        for entry in &report.quarantine.entries {
+            prop_assert_eq!(entry.phase.as_str(), names[entry.index]);
+        }
+        mlcomp::ir::verify(&variant.module).expect("sandboxed module stays verifier-clean");
+        let got = variant
+            .run_default()
+            .unwrap_or_else(|e| panic!("{} under {names:?} trapped: {e}", program.name));
+        prop_assert_eq!(got, reference, "{} miscompiled under faults", program.name);
+
+        // Same plan, same sites → bit-identical module and report.
+        let mut replay = program.clone();
+        let replay_report = pm
+            .run_sequence_sandboxed(
+                &mut replay.module,
+                names.iter().copied(),
+                Some(&plan),
+                program.name,
+            )
+            .expect("all names are registered");
+        prop_assert_eq!(&variant.module, &replay.module);
+        prop_assert_eq!(&report.quarantine, &replay_report.quarantine);
+    }
+}
