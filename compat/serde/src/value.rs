@@ -82,6 +82,18 @@ impl Value {
     }
 }
 
+impl crate::Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// An insertion-ordered string-keyed map.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Object {

@@ -1,0 +1,60 @@
+//! Measures the cost of the `mlcomp-trace` instrumentation on the
+//! extraction hot path, in three configurations:
+//!
+//! * `no-sink`   — tracing never installed (the shipping default);
+//! * `null-sink` — [`mlcomp_trace::NullSink`] installed: instrumentation
+//!   stays disabled, so this must be indistinguishable from `no-sink`;
+//! * `jsonl-sink` — a real [`mlcomp_trace::JsonlSink`] writing every
+//!   event to a temp file (target: < 5% slowdown).
+//!
+//! Numbers are recorded in EXPERIMENTS.md ("Profiling a run").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcomp_core::DataExtraction;
+use mlcomp_platform::X86Platform;
+use std::sync::Arc;
+
+fn extraction_config() -> DataExtraction {
+    DataExtraction {
+        num_threads: 2,
+        ..DataExtraction::quick()
+    }
+}
+
+fn small_suite() -> Vec<mlcomp_suites::BenchProgram> {
+    mlcomp_suites::parsec_suite()
+        .into_iter()
+        .filter(|p| ["dedup", "blackscholes"].contains(&p.name))
+        .collect()
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let platform = X86Platform::new();
+    let apps = small_suite();
+    let config = extraction_config();
+    let mut group = c.benchmark_group("trace_overhead");
+
+    group.bench_function("extraction/no-sink", |b| {
+        b.iter(|| config.run(&platform, &apps).unwrap());
+    });
+
+    mlcomp_trace::install(Arc::new(mlcomp_trace::NullSink));
+    group.bench_function("extraction/null-sink", |b| {
+        b.iter(|| config.run(&platform, &apps).unwrap());
+    });
+    mlcomp_trace::uninstall();
+
+    let path = std::env::temp_dir().join("mlcomp_trace_overhead.jsonl");
+    let sink = mlcomp_trace::JsonlSink::create(&path).expect("temp file");
+    mlcomp_trace::install(Arc::new(sink));
+    group.bench_function("extraction/jsonl-sink", |b| {
+        b.iter(|| config.run(&platform, &apps).unwrap());
+    });
+    mlcomp_trace::uninstall();
+    std::fs::remove_file(&path).ok();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -53,6 +53,7 @@ use mlcomp_parallel::{seed, MemoCache, WorkerPool};
 use mlcomp_passes::{registry, PassManager, QuarantineEntry};
 use mlcomp_platform::{DynamicFeatures, Profiler, TargetPlatform, Workload};
 use mlcomp_suites::BenchProgram;
+use mlcomp_trace as trace;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
@@ -325,6 +326,7 @@ impl DataExtraction {
             // Injected panics are expected; keep them off stderr.
             quiet_injected_panics();
         }
+        let mut run_span = trace::span("extraction");
         let phases = registry::all_phase_names();
         let pool = WorkerPool::new(self.num_threads);
         // One work item per (app, variant); the pool returns results in
@@ -341,6 +343,15 @@ impl DataExtraction {
                     outcomes[entry.index] = Some(entry.outcome);
                 }
             }
+            trace::counter(
+                "extraction.resumed_items",
+                outcomes.iter().filter(|o| o.is_some()).count() as u64,
+            );
+        }
+        if run_span.is_recording() {
+            run_span.field("apps", apps.len());
+            run_span.field("items", items.len());
+            run_span.field("threads", pool.num_threads());
         }
 
         // Compile+profile outcomes are pure functions of (app, sequence):
@@ -363,6 +374,15 @@ impl DataExtraction {
             let chunk_items: Vec<(usize, usize)> = chunk.iter().map(|&i| items[i]).collect();
             let results = pool.map_supervised(&chunk_items, self.retry_attempts, |_, attempt, &(a, v)| {
                 let app = &apps[a];
+                let mut item_span = trace::span("extract.item");
+                if item_span.is_recording() {
+                    item_span.field("app", app.name);
+                    item_span.field("variant", v);
+                    item_span.field("attempt", attempt as u64);
+                }
+                if attempt > 0 {
+                    trace::counter("extraction.retries", 1);
+                }
                 if let Some(plan) = &self.fault_plan {
                     // Transient worker failure: keyed by item identity and
                     // attempt number, so retries re-roll the dice and the
@@ -379,6 +399,9 @@ impl DataExtraction {
                 let outcome = cache.get_or_insert_with((a, canonical), || {
                     self.compile_and_profile(platform, app, &sequence)
                 });
+                if item_span.is_recording() {
+                    item_span.field("outcome", if outcome.is_ok() { "ok" } else { "failed" });
+                }
                 match outcome {
                     Ok((features, metrics, quarantined)) => ItemOutcome::Sample {
                         sample: Sample {
@@ -398,19 +421,39 @@ impl DataExtraction {
                             })
                             .collect(),
                     },
-                    Err(reason) => ItemOutcome::Failed(FailedPoint {
-                        app: app.name.to_string(),
-                        variant: v,
-                        reason,
-                        attempts: attempt + 1,
-                    }),
+                    Err(reason) => {
+                        trace::counter(classify_fault(&reason), 1);
+                        ItemOutcome::Failed(FailedPoint {
+                            app: app.name.to_string(),
+                            variant: v,
+                            reason,
+                            attempts: attempt + 1,
+                        })
+                    }
                 }
             });
             for (&i, result) in chunk.iter().zip(results) {
                 outcomes[i] = Some(match result {
-                    Ok(outcome) => outcome,
+                    Ok(outcome) => {
+                        if trace::enabled() {
+                            match &outcome {
+                                ItemOutcome::Sample { quarantined, .. } => {
+                                    trace::counter("extraction.items_ok", 1);
+                                    for q in quarantined {
+                                        trace::counter(classify_fault(&q.reason), 1);
+                                    }
+                                }
+                                ItemOutcome::Failed(_) => {
+                                    trace::counter("extraction.items_failed", 1)
+                                }
+                            }
+                        }
+                        outcome
+                    }
                     Err(failure) => {
                         let (a, v) = items[i];
+                        trace::counter("extraction.items_failed", 1);
+                        trace::counter(classify_fault(&failure.reason), 1);
                         ItemOutcome::Failed(FailedPoint {
                             app: apps[a].name.to_string(),
                             variant: v,
@@ -422,6 +465,7 @@ impl DataExtraction {
             }
             if let Some(path) = checkpoint {
                 write_checkpoint(path, fingerprint, items.len(), &outcomes)?;
+                trace::counter("extraction.checkpoint_writes", 1);
             }
         }
 
@@ -471,6 +515,13 @@ impl DataExtraction {
             // Best-effort cleanup: a leftover file would be ignored anyway
             // if the next run's fingerprint differs.
             let _ = std::fs::remove_file(path);
+        }
+        if run_span.is_recording() {
+            run_span.field("samples", dataset.len());
+            run_span.field("failed", dataset.failures.failed.len());
+            run_span.field("quarantined", dataset.failures.quarantined.len());
+            trace::counter("extraction.cache_hits", cache.hits());
+            trace::counter("extraction.cache_misses", cache.misses());
         }
         Ok(dataset)
     }
@@ -584,6 +635,23 @@ impl DataExtraction {
             .profile(&module, &workload)
             .map(|metrics| (features.values, metrics, report.quarantine.entries))
             .map_err(|e| e.to_string())
+    }
+}
+
+/// Maps a failure/quarantine reason string onto the trace counter of its
+/// [`FaultKind`]-style category. Purely observational: the strings are the
+/// single source of truth; this only buckets them for `mlcomp-report`.
+fn classify_fault(reason: &str) -> &'static str {
+    if reason.contains("fuel") {
+        "extraction.fault.fuel_exhaustion"
+    } else if reason.contains("transient worker failure") {
+        "extraction.fault.worker_transient"
+    } else if reason.contains("panicked") {
+        "extraction.fault.phase_panic"
+    } else if reason.contains("verifier") {
+        "extraction.fault.verifier_corrupt"
+    } else {
+        "extraction.fault.other"
     }
 }
 

@@ -9,6 +9,7 @@ use mlcomp_passes::{registry, PassManager};
 use mlcomp_platform::DynamicFeatures;
 use mlcomp_rl::{Env, PolicyNet, ReinforceTrainer, TrainingStats};
 use mlcomp_suites::BenchProgram;
+use mlcomp_trace as trace;
 use rand::Rng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -303,7 +304,16 @@ impl PhaseSequenceSelector {
             seed: config.seed ^ 0xF00D,
             ..ReinforceTrainer::default()
         };
+        let mut span = trace::span("pss.train");
         let stats = trainer.train(&mut policy, &mut env);
+        if span.is_recording() {
+            span.field("episodes", config.episodes);
+            span.field("programs", programs.len());
+            if let Some(last) = stats.last() {
+                span.field("final_mean_return", last.mean_return);
+            }
+        }
+        drop(span);
         (
             PhaseSequenceSelector {
                 policy,
@@ -320,6 +330,7 @@ impl PhaseSequenceSelector {
     /// the fallback budget is exhausted or the sequence reaches
     /// "max phase sequence length".
     pub fn optimize(&self, module: &Module) -> (Module, Vec<&'static str>) {
+        let mut span = trace::span("pss.optimize");
         let pm = PassManager::new();
         let mut current = module.clone();
         let mut applied: Vec<&'static str> = Vec::new();
@@ -346,6 +357,10 @@ impl PhaseSequenceSelector {
                 break;
             }
         }
+        if span.is_recording() {
+            span.field("seq_len", applied.len());
+        }
+        drop(span);
         (current, applied)
     }
 

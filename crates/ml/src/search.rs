@@ -7,6 +7,7 @@ use crate::preprocess::*;
 use crate::{metrics, take_rows, train_test_split, Preprocessor, Regressor, TrainError};
 use mlcomp_linalg::Matrix;
 use mlcomp_parallel::WorkerPool;
+use mlcomp_trace as trace;
 
 /// Names of all Table IV models, in the paper's row order.
 pub fn model_zoo() -> Vec<&'static str> {
@@ -257,6 +258,12 @@ impl ModelSearch {
             .collect();
         let pool = WorkerPool::new(self.num_threads);
         let chunk_len = pool.num_threads().max(1) * 2;
+        let mut search_span = trace::span("search");
+        if search_span.is_recording() {
+            search_span.field("candidates", candidates.len());
+            search_span.field("rows", x.rows());
+            search_span.field("threads", pool.num_threads());
+        }
         let mut leaderboard: Vec<SearchEntry> = Vec::new();
         let mut early_stopped = false;
         'outer: for batch in candidates.chunks(chunk_len) {
@@ -273,6 +280,14 @@ impl ModelSearch {
             }
         }
         leaderboard.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).unwrap());
+        if search_span.is_recording() {
+            search_span.field("evaluated", leaderboard.len());
+            search_span.field("early_stopped", early_stopped);
+            if let Some(best) = leaderboard.first() {
+                search_span.field("best_model", best.model.as_str());
+                search_span.field("best_accuracy", best.accuracy);
+            }
+        }
         let Some(winner) = leaderboard.first().cloned() else {
             return Err(TrainError::new("no model/preprocessor combination trained"));
         };
@@ -309,6 +324,11 @@ impl ModelSearch {
         xte: &Matrix,
         yte: &[f64],
     ) -> Option<SearchEntry> {
+        let mut fit_span = trace::span("search.fit");
+        if fit_span.is_recording() {
+            fit_span.field("model", model_name);
+            fit_span.field("prep", prep_name);
+        }
         let mut prep = create_preprocessor(prep_name)?;
         let mut model = create_model(model_name)?;
         let ptr = prep.fit_transform(xtr).ok()?;
@@ -318,6 +338,10 @@ impl ModelSearch {
             return None;
         }
         let acc = 1.0 - metrics::mape(yte, &pred);
+        if fit_span.is_recording() {
+            fit_span.field("accuracy", acc);
+            trace::observe("search.accuracy", acc);
+        }
         Some(SearchEntry {
             preprocessor: prep_name.to_string(),
             model: model_name.to_string(),

@@ -24,11 +24,13 @@
 //! atomic cursor and per-worker result buffers that are merged and sorted
 //! by item index after the scope joins.
 
+use mlcomp_trace as trace;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 pub mod seed;
 
@@ -124,16 +126,36 @@ impl WorkerPool {
         }
         let workers = self.num_threads.min(items.len());
         let cursor = AtomicUsize::new(0);
+        let tracing = trace::enabled();
         let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let cursor = &cursor;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut span = trace::span("pool.worker");
+                        let mut busy_ns = 0u64;
                         let mut local = Vec::new();
                         loop {
                             let idx = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(item) = items.get(idx) else { break };
+                            if tracing {
+                                trace::gauge(
+                                    "pool.queue_depth",
+                                    items.len().saturating_sub(idx + 1) as f64,
+                                );
+                            }
+                            let started = tracing.then(Instant::now);
                             local.push((idx, f(idx, item)));
+                            if let Some(started) = started {
+                                busy_ns += started.elapsed().as_nanos() as u64;
+                            }
+                        }
+                        if span.is_recording() {
+                            span.field("worker", w);
+                            span.field("items", local.len());
+                            span.field("busy_ns", busy_ns);
                         }
                         local
                     })
@@ -195,11 +217,18 @@ impl WorkerPool {
         let run_item = |idx: usize, item: &T| -> Result<R, ItemFailure> {
             let mut reason = String::new();
             for attempt in 0..attempts {
+                if attempt > 0 {
+                    trace::counter("pool.retries", 1);
+                }
                 match catch_unwind(AssertUnwindSafe(|| f(idx, attempt, item))) {
                     Ok(r) => return Ok(r),
-                    Err(payload) => reason = payload_reason(payload.as_ref()),
+                    Err(payload) => {
+                        trace::counter("pool.attempt_failures", 1);
+                        reason = payload_reason(payload.as_ref());
+                    }
                 }
             }
+            trace::counter("pool.item_failures", 1);
             Err(ItemFailure {
                 index: idx,
                 attempts,
@@ -215,16 +244,36 @@ impl WorkerPool {
         }
         let workers = self.num_threads.min(items.len());
         let cursor = AtomicUsize::new(0);
+        let tracing = trace::enabled();
         let mut tagged: Vec<(usize, Result<R, ItemFailure>)> = Vec::with_capacity(items.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let cursor = &cursor;
+                    let run_item = &run_item;
+                    scope.spawn(move || {
+                        let mut span = trace::span("pool.worker");
+                        let mut busy_ns = 0u64;
                         let mut local = Vec::new();
                         loop {
                             let idx = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(item) = items.get(idx) else { break };
+                            if tracing {
+                                trace::gauge(
+                                    "pool.queue_depth",
+                                    items.len().saturating_sub(idx + 1) as f64,
+                                );
+                            }
+                            let started = tracing.then(Instant::now);
                             local.push((idx, run_item(idx, item)));
+                            if let Some(started) = started {
+                                busy_ns += started.elapsed().as_nanos() as u64;
+                            }
+                        }
+                        if span.is_recording() {
+                            span.field("worker", w);
+                            span.field("items", local.len());
+                            span.field("busy_ns", busy_ns);
                         }
                         local
                     })

@@ -22,9 +22,11 @@
 use crate::registry::{is_registered, run_phase_on};
 use mlcomp_faults::{FaultKind, FaultPlan, INJECTED_PANIC_PREFIX};
 use mlcomp_ir::Module;
+use mlcomp_trace as trace;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 /// Standard optimization levels, approximating LLVM's legacy pipelines at
 /// the granularity of Table VI's phases.
@@ -273,6 +275,49 @@ pub enum PhaseOutcome {
     Quarantined(QuarantineReason),
 }
 
+/// IR-delta statistics of one sandboxed phase run, as returned by
+/// [`PassManager::phase_stats`]. This is the same per-phase record the
+/// tracer attaches to `"phase"` spans, exposed as a first-class API so
+/// tests and tools can assert on it without a sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Phase name.
+    pub phase: String,
+    /// What the sandbox decided.
+    pub outcome: PhaseOutcome,
+    /// Live instructions in the module before the phase ran.
+    pub insts_before: usize,
+    /// Live instructions after (equal to `insts_before` on rollback).
+    pub insts_after: usize,
+    /// Basic blocks across defined functions before the phase ran.
+    pub blocks_before: usize,
+    /// Basic blocks after (equal to `blocks_before` on rollback).
+    pub blocks_after: usize,
+    /// Wall-clock time of the post-phase verifier run, in nanoseconds.
+    pub verify_ns: u64,
+}
+
+impl PhaseStats {
+    /// Net live instructions removed (negative when the phase grew code).
+    pub fn insts_removed(&self) -> i64 {
+        self.insts_before as i64 - self.insts_after as i64
+    }
+
+    /// Net basic blocks removed (negative when the phase grew the CFG).
+    pub fn blocks_removed(&self) -> i64 {
+        self.blocks_before as i64 - self.blocks_after as i64
+    }
+}
+
+/// Basic blocks across defined (non-declaration) functions.
+fn total_blocks(m: &Module) -> usize {
+    m.functions
+        .iter()
+        .filter(|f| !f.is_declaration)
+        .map(|f| f.blocks.len())
+        .sum()
+}
+
 /// What [`PassManager::run_sequence_sandboxed`] returns: progress plus the
 /// quarantine record.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -369,6 +414,76 @@ impl PassManager {
         plan: Option<&FaultPlan>,
         site_key: &str,
     ) -> Result<PhaseOutcome, UnknownPhaseError> {
+        if !trace::enabled() {
+            return self
+                .sandboxed_phase_inner(m, name, plan, site_key, false)
+                .map(|(outcome, _)| outcome);
+        }
+        let mut span = trace::span("phase");
+        let insts_before = m.total_insts();
+        let blocks_before = total_blocks(m);
+        let (outcome, verify_ns) =
+            self.sandboxed_phase_inner(m, name, plan, site_key, true)?;
+        span.field("phase", name);
+        span.field("insts_before", insts_before);
+        span.field("insts_after", m.total_insts());
+        span.field("blocks_before", blocks_before);
+        span.field("blocks_after", total_blocks(m));
+        span.field("verify_ns", verify_ns);
+        span.field("changed", matches!(outcome, PhaseOutcome::Changed));
+        if let PhaseOutcome::Quarantined(reason) = &outcome {
+            span.field("rollback", true);
+            trace::counter("passes.rollbacks", 1);
+            match reason {
+                QuarantineReason::Panic(_) => trace::counter("passes.rollback.panic", 1),
+                QuarantineReason::VerifierReject(_) => {
+                    trace::counter("passes.rollback.verifier_reject", 1)
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Runs one phase under the sandbox and returns stats of what it did
+    /// to the IR: instruction/block deltas and verifier time. Rollbacks
+    /// leave the module untouched, so deltas are zero for quarantined
+    /// phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownPhaseError`] if the name is not registered (the
+    /// module is untouched).
+    pub fn phase_stats(
+        &self,
+        m: &mut Module,
+        name: &str,
+    ) -> Result<PhaseStats, UnknownPhaseError> {
+        let insts_before = m.total_insts();
+        let blocks_before = total_blocks(m);
+        let (outcome, verify_ns) = self.sandboxed_phase_inner(m, name, None, name, true)?;
+        Ok(PhaseStats {
+            phase: name.to_string(),
+            outcome,
+            insts_before,
+            insts_after: m.total_insts(),
+            blocks_before,
+            blocks_after: total_blocks(m),
+            verify_ns,
+        })
+    }
+
+    /// The sandbox core shared by [`PassManager::run_phase_sandboxed`] and
+    /// [`PassManager::phase_stats`]. `time_verify` gates the verifier
+    /// clock reads so the zero-instrumentation path stays free; with it
+    /// `false` the returned `verify_ns` is 0.
+    fn sandboxed_phase_inner(
+        &self,
+        m: &mut Module,
+        name: &str,
+        plan: Option<&FaultPlan>,
+        site_key: &str,
+        time_verify: bool,
+    ) -> Result<(PhaseOutcome, u64), UnknownPhaseError> {
         if !is_registered(name) {
             return Err(UnknownPhaseError(name.to_string()));
         }
@@ -384,7 +499,12 @@ impl PassManager {
         }));
         match ran {
             Ok(changed) => {
-                let rejection = match mlcomp_ir::verify(m) {
+                let verify_start = time_verify.then(Instant::now);
+                let verdict = mlcomp_ir::verify(m);
+                let verify_ns = verify_start
+                    .map(|t| t.elapsed().as_nanos() as u64)
+                    .unwrap_or(0);
+                let rejection = match verdict {
                     Err(e) => Some(e.to_string()),
                     Ok(()) if plan.is_some_and(|p| p.fires(FaultKind::VerifierCorrupt, site_key)) => {
                         Some(format!(
@@ -395,20 +515,24 @@ impl PassManager {
                 };
                 if let Some(msg) = rejection {
                     *m = snapshot;
-                    Ok(PhaseOutcome::Quarantined(QuarantineReason::VerifierReject(
-                        msg,
-                    )))
+                    Ok((
+                        PhaseOutcome::Quarantined(QuarantineReason::VerifierReject(msg)),
+                        verify_ns,
+                    ))
                 } else if changed {
-                    Ok(PhaseOutcome::Changed)
+                    Ok((PhaseOutcome::Changed, verify_ns))
                 } else {
-                    Ok(PhaseOutcome::Unchanged)
+                    Ok((PhaseOutcome::Unchanged, verify_ns))
                 }
             }
             Err(payload) => {
                 *m = snapshot;
-                Ok(PhaseOutcome::Quarantined(QuarantineReason::Panic(
-                    mlcomp_faults::panic_reason(payload.as_ref()),
-                )))
+                Ok((
+                    PhaseOutcome::Quarantined(QuarantineReason::Panic(
+                        mlcomp_faults::panic_reason(payload.as_ref()),
+                    )),
+                    0,
+                ))
             }
         }
     }
@@ -434,6 +558,7 @@ impl PassManager {
         site_prefix: &str,
     ) -> Result<SandboxReport, UnknownPhaseError> {
         let names = validate_sequence(names)?;
+        let mut span = trace::span("phase-seq");
         let mut report = SandboxReport::default();
         for (index, name) in names.iter().enumerate() {
             let site_key = format!("{site_prefix}|{index}|{name}");
@@ -448,6 +573,11 @@ impl PassManager {
                     });
                 }
             }
+        }
+        if span.is_recording() {
+            span.field("phases", names.len());
+            span.field("changed", report.changed);
+            span.field("quarantined", report.quarantine.len());
         }
         Ok(report)
     }
@@ -677,6 +807,97 @@ mod tests {
             .unwrap();
         assert_eq!(m, again);
         assert_eq!(report, replay);
+    }
+
+    /// Fixture with one dead instruction (for DCE), one duplicated pure
+    /// subexpression (for CSE), and one constant-foldable operation (for
+    /// SCCP), so each phase has a predictable instruction delta.
+    fn delta_fixture() -> Module {
+        let mut mb = ModuleBuilder::new("delta");
+        mb.begin_function("main", vec![Type::I64], Type::I64);
+        {
+            let mut b = mb.body();
+            let _dead = b.mul(b.param(0), b.const_i64(7));
+            let a = b.add(b.param(0), b.const_i64(5));
+            let a2 = b.add(b.param(0), b.const_i64(5));
+            let c = b.mul(b.const_i64(2), b.const_i64(3));
+            let s1 = b.add(a, a2);
+            let s2 = b.add(s1, c);
+            b.ret(Some(s2));
+        }
+        mb.finish_function();
+        mb.build()
+    }
+
+    #[test]
+    fn phase_stats_reports_ir_deltas_for_dce_cse_and_sccp() {
+        // The registry's DCE/CSE/SCCP phases are named `adce`,
+        // `early-cse`, and `sccp`.
+        for phase in ["adce", "early-cse", "sccp"] {
+            let mut m = delta_fixture();
+            let insts_before = m.total_insts();
+            let stats = PassManager::new().phase_stats(&mut m, phase).unwrap();
+            assert_eq!(stats.phase, phase);
+            assert_eq!(stats.outcome, PhaseOutcome::Changed, "{phase}");
+            assert_eq!(stats.insts_before, insts_before, "{phase}");
+            assert_eq!(stats.insts_after, m.total_insts(), "{phase}");
+            assert!(
+                stats.insts_removed() > 0,
+                "{phase} should remove instructions from the fixture: {stats:?}"
+            );
+            assert_eq!(stats.blocks_before, 1, "{phase}");
+            assert_eq!(stats.blocks_after, 1, "{phase}");
+            verify(&m).unwrap();
+        }
+    }
+
+    #[test]
+    fn phase_stats_exact_counts_on_the_fixture() {
+        // adce kills exactly the one dead multiply.
+        let mut m = delta_fixture();
+        let stats = PassManager::new().phase_stats(&mut m, "adce").unwrap();
+        assert_eq!(stats.insts_removed(), 1, "{stats:?}");
+        // early-cse folds the duplicated `p0 + 5`, and its trivial-DCE
+        // sweep also picks up the dead multiply: two instructions gone.
+        let mut m = delta_fixture();
+        let stats = PassManager::new().phase_stats(&mut m, "early-cse").unwrap();
+        assert_eq!(stats.insts_removed(), 2, "{stats:?}");
+        // sccp folds the constant `2 * 3` and, like early-cse, sweeps the
+        // trivially dead multiply afterwards.
+        let mut m = delta_fixture();
+        let stats = PassManager::new().phase_stats(&mut m, "sccp").unwrap();
+        assert_eq!(stats.insts_removed(), 2, "{stats:?}");
+    }
+
+    #[test]
+    fn phase_stats_unchanged_and_unknown_phases() {
+        let mut m = delta_fixture();
+        let pristine = m.clone();
+        // `globaldce` has nothing to do on a module with only `main`.
+        let stats = PassManager::new().phase_stats(&mut m, "globaldce").unwrap();
+        assert_eq!(stats.outcome, PhaseOutcome::Unchanged);
+        assert_eq!(stats.insts_removed(), 0);
+        assert_eq!(m, pristine);
+        let err = PassManager::new().phase_stats(&mut m, "nope").unwrap_err();
+        assert_eq!(err, UnknownPhaseError("nope".into()));
+    }
+
+    #[test]
+    fn phase_stats_records_rollback_deltas_as_zero() {
+        use mlcomp_faults::{FaultKind, FaultPlan};
+        // Quarantined phases must report a zero IR delta (the rollback
+        // restored the snapshot); exercised via run_phase_sandboxed so the
+        // fault plan applies, then cross-checked against module state.
+        let plan = FaultPlan::from_seed(3).with_rate(FaultKind::PhasePanic, 1.0);
+        let mut m = delta_fixture();
+        let pristine = m.clone();
+        mlcomp_faults::quiet_injected_panics();
+        let outcome = PassManager::new()
+            .run_phase_sandboxed(&mut m, "adce", Some(&plan), "k")
+            .unwrap();
+        assert!(matches!(outcome, PhaseOutcome::Quarantined(_)));
+        assert_eq!(m, pristine);
+        assert_eq!(m.total_insts(), pristine.total_insts());
     }
 
     #[test]

@@ -248,21 +248,28 @@ fn softmax(logits: &[f64]) -> Vec<f64> {
 /// entries — fall back to a uniform pick instead of silently biasing
 /// toward the last index.
 pub(crate) fn sample_index(probs: &[f64], roll: f64) -> usize {
+    sample_index_detailed(probs, roll).0
+}
+
+/// Like [`sample_index`], but also reports whether the uniform fallback
+/// fired — the trainer uses the flag to abort (and count) episodes whose
+/// action distribution has degenerated.
+pub(crate) fn sample_index_detailed(probs: &[f64], roll: f64) -> (usize, bool) {
     let n = probs.len();
     assert!(n > 0, "empty probability vector");
     let degenerate =
         probs.iter().any(|p| !p.is_finite() || *p < 0.0) || probs.iter().sum::<f64>() <= 0.0;
     if degenerate {
-        return ((roll * n as f64) as usize).min(n - 1);
+        return (((roll * n as f64) as usize).min(n - 1), true);
     }
     let mut acc = 0.0;
     for (a, p) in probs.iter().enumerate() {
         acc += p;
         if roll < acc {
-            return a;
+            return (a, false);
         }
     }
-    n - 1
+    (n - 1, false)
 }
 
 fn argmax(xs: &[f64]) -> usize {
@@ -395,6 +402,17 @@ mod tests {
         assert_eq!(sample_index(&probs, 0.1), 0);
         assert_eq!(sample_index(&probs, 0.3), 1);
         assert_eq!(sample_index(&probs, 0.9), 2);
+    }
+
+    #[test]
+    fn sample_index_detailed_flags_the_fallback() {
+        let (a, fallback) = sample_index_detailed(&[0.25, 0.25, 0.5], 0.3);
+        assert_eq!((a, fallback), (1, false));
+        for probs in [vec![0.0; 3], vec![f64::NAN; 3], vec![-1.0, 1.0, 1.0]] {
+            let (a, fallback) = sample_index_detailed(&probs, 0.5);
+            assert!(a < 3);
+            assert!(fallback, "{probs:?} must report the fallback");
+        }
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //! cannot blow up the policy weights. Healthy runs are unaffected: the
 //! guards only reject values that would already have poisoned the policy.
 
-use crate::policy::{sample_index, PolicyNet};
+use crate::policy::{sample_index_detailed, PolicyNet};
+use mlcomp_trace as trace;
 use rand::Rng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 
 /// An episodic environment with a fixed-dimensional observation and a
 /// discrete action set.
@@ -27,7 +29,7 @@ pub trait Env {
 }
 
 /// Per-batch statistics emitted during training.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainingStats {
     /// Episodes completed so far.
     pub episodes: usize,
@@ -38,6 +40,10 @@ pub struct TrainingStats {
     pub mean_length: f64,
     /// Episodes in the batch aborted for non-finite rewards or states.
     pub aborted_episodes: usize,
+    /// Why episodes in the batch aborted, keyed by reason
+    /// (`"non_finite_reward"`, `"non_finite_state"`, `"sampling_fallback"`).
+    /// Values sum to [`TrainingStats::aborted_episodes`].
+    pub abort_reasons: BTreeMap<String, u64>,
 }
 
 /// The REINFORCE trainer with Table V's hyper-parameters as defaults
@@ -97,6 +103,12 @@ impl ReinforceTrainer {
         assert_eq!(policy.input_dim, env.state_dim(), "policy/env state mismatch");
         assert_eq!(policy.actions, env.action_count(), "policy/env action mismatch");
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let tracing = trace::enabled();
+        let mut train_span = trace::span("rl.train");
+        if train_span.is_recording() {
+            train_span.field("episodes", self.episodes);
+            train_span.field("batch_size", self.batch_size);
+        }
         let mut stats = Vec::new();
         let mut episode_count = 0usize;
         while episode_count < self.episodes {
@@ -107,21 +119,50 @@ impl ReinforceTrainer {
             let mut batch_len = 0.0;
             let mut completed = 0usize;
             let mut aborted = 0usize;
-            for _ in 0..batch {
+            let mut abort_reasons: BTreeMap<String, u64> = BTreeMap::new();
+            for ep_in_batch in 0..batch {
+                let episode_idx = episode_count + ep_in_batch;
                 let mut state = env.reset();
                 let mut rewards: Vec<f64> = Vec::new();
                 let mut steps: Vec<(crate::policy::Forward, usize)> = Vec::new();
-                let mut poisoned = !state.iter().all(|v| v.is_finite());
-                if !poisoned {
+                let mut entropy_sum = 0.0;
+                let mut abort_reason: Option<&'static str> = if state.iter().all(|v| v.is_finite())
+                {
+                    None
+                } else {
+                    Some("non_finite_state")
+                };
+                if abort_reason.is_none() {
                     for _ in 0..self.max_steps {
                         let fwd = policy.forward(&state);
-                        let action = sample_index(&fwd.probs, rng.gen_range(0.0..1.0));
+                        let (action, fallback) =
+                            sample_index_detailed(&fwd.probs, rng.gen_range(0.0..1.0));
+                        if fallback {
+                            // The softmax degenerated (NaN / all-zero probs):
+                            // the uniform fallback keeps sampling total, but
+                            // the episode's actions no longer reflect the
+                            // policy, so it is not trained on.
+                            abort_reason = Some("sampling_fallback");
+                            break;
+                        }
                         let (next, reward, done) = env.step(action);
-                        if !reward.is_finite() || !next.iter().all(|v| v.is_finite()) {
+                        if !reward.is_finite() {
                             // A NaN/inf reward or state would poison every
                             // return of the episode; abort it and move on.
-                            poisoned = true;
+                            abort_reason = Some("non_finite_reward");
                             break;
+                        }
+                        if !next.iter().all(|v| v.is_finite()) {
+                            abort_reason = Some("non_finite_state");
+                            break;
+                        }
+                        if tracing {
+                            entropy_sum += fwd
+                                .probs
+                                .iter()
+                                .filter(|p| **p > 0.0)
+                                .map(|p| -p * p.ln())
+                                .sum::<f64>();
                         }
                         steps.push((fwd, action));
                         rewards.push(reward);
@@ -131,12 +172,27 @@ impl ReinforceTrainer {
                         }
                     }
                 }
-                if poisoned {
+                if let Some(reason) = abort_reason {
                     aborted += 1;
+                    *abort_reasons.entry(reason.to_string()).or_insert(0) += 1;
+                    if tracing {
+                        trace::counter(&format!("rl.abort.{reason}"), 1);
+                    }
                     continue;
                 }
                 completed += 1;
-                batch_return += rewards.iter().sum::<f64>();
+                let ep_return = rewards.iter().sum::<f64>();
+                if tracing {
+                    trace::point("rl.return", episode_idx as f64, ep_return);
+                    if !steps.is_empty() {
+                        trace::point(
+                            "rl.entropy",
+                            episode_idx as f64,
+                            entropy_sum / steps.len() as f64,
+                        );
+                    }
+                }
+                batch_return += ep_return;
                 batch_len += rewards.len() as f64;
                 // Discounted returns G_t.
                 let mut g = 0.0;
@@ -194,7 +250,11 @@ impl ReinforceTrainer {
                     0.0
                 },
                 aborted_episodes: aborted,
+                abort_reasons,
             };
+            if tracing {
+                trace::point("rl.mean_return", s.episodes as f64, s.mean_return);
+            }
             on_batch(&s);
             stats.push(s);
         }
@@ -367,6 +427,18 @@ mod tests {
         let stats = trainer.train(&mut policy, &mut env);
         let aborted: usize = stats.iter().map(|s| s.aborted_episodes).sum();
         assert!(aborted >= 600 / 5 - 1, "every 5th episode aborts: {aborted}");
+        for s in &stats {
+            assert_eq!(
+                s.abort_reasons.values().sum::<u64>(),
+                s.aborted_episodes as u64,
+                "abort_reasons must account for every abort"
+            );
+        }
+        let nan_aborts: u64 = stats
+            .iter()
+            .filter_map(|s| s.abort_reasons.get("non_finite_reward"))
+            .sum();
+        assert_eq!(nan_aborts, aborted as u64, "only NaN rewards abort here");
         // Training still learns the contextual rule from the healthy 80%.
         assert_eq!(policy.best_action(&[1.0]), 0);
         assert_eq!(policy.best_action(&[-1.0]), 1);
@@ -401,6 +473,40 @@ mod tests {
         assert_eq!(stats.last().unwrap().episodes, 12);
         assert!(stats.iter().all(|s| s.aborted_episodes == 6));
         assert!(stats.iter().all(|s| s.mean_return == 0.0));
+        assert!(
+            stats
+                .iter()
+                .all(|s| s.abort_reasons.get("non_finite_reward") == Some(&6)),
+            "every abort stems from the NaN reward"
+        );
+    }
+
+    #[test]
+    fn non_finite_initial_state_is_classified() {
+        struct BadResetEnv;
+        impl Env for BadResetEnv {
+            fn state_dim(&self) -> usize {
+                1
+            }
+            fn action_count(&self) -> usize {
+                2
+            }
+            fn reset(&mut self) -> Vec<f64> {
+                vec![f64::INFINITY]
+            }
+            fn step(&mut self, _action: usize) -> (Vec<f64>, f64, bool) {
+                (vec![0.0], 0.0, true)
+            }
+        }
+        let mut policy = PolicyNet::new(1, 16, 2, 5);
+        let trainer = ReinforceTrainer {
+            episodes: 6,
+            ..Default::default()
+        };
+        let stats = trainer.train(&mut policy, &mut BadResetEnv);
+        assert!(stats
+            .iter()
+            .all(|s| s.abort_reasons.get("non_finite_state") == Some(&6)));
     }
 
     #[test]

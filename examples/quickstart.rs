@@ -3,12 +3,21 @@
 //!
 //! ```sh
 //! cargo run --release --example quickstart
+//! # …or with phase-level profiling (inspect with `mlcomp-report`):
+//! MLCOMP_TRACE=run.jsonl cargo run --release --example quickstart
 //! ```
 
 use mlcomp::core::{Mlcomp, MlcompConfig};
 use mlcomp::platform::{Profiler, Workload, X86Platform};
 
 fn main() {
+    // MLCOMP_TRACE=run.jsonl streams a structured profile of the run
+    // (inspect with `mlcomp-report`); unset, tracing stays disabled.
+    let trace_guard = mlcomp::trace::init_from_env();
+    if let Some(guard) = &trace_guard {
+        println!("tracing to {}", guard.path());
+    }
+
     // Target platform + application domain (three PARSEC-like programs).
     let platform = X86Platform::new();
     let apps: Vec<_> = mlcomp::suites::parsec_suite()

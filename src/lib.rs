@@ -14,7 +14,9 @@
 //! * [`ml`] — preprocessing, the regression model zoo and model search;
 //! * [`rl`] — REINFORCE policy-gradient learning;
 //! * [`core`] — the MLComp methodology itself (data extraction,
-//!   Performance Estimator, Phase Selection Policy, deployment).
+//!   Performance Estimator, Phase Selection Policy, deployment);
+//! * [`trace`] — structured tracing, metrics and phase-level profiling
+//!   (out-of-band: never perturbs results; see DESIGN.md §11).
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! system inventory.
@@ -29,3 +31,4 @@ pub use mlcomp_passes as passes;
 pub use mlcomp_platform as platform;
 pub use mlcomp_rl as rl;
 pub use mlcomp_suites as suites;
+pub use mlcomp_trace as trace;

@@ -82,6 +82,61 @@ fn model_search_winner_is_identical_across_thread_counts() {
     }
 }
 
+/// The observability contract (DESIGN.md §11): attaching a trace sink
+/// must not change a single byte of any artifact. Timing is read only for
+/// events, never fed back into seeds, ordering, or results.
+#[test]
+fn tracing_does_not_perturb_extraction_fingerprints() {
+    use std::sync::Arc;
+
+    let platform = X86Platform::new();
+    let apps = small_suite();
+    let config = DataExtraction {
+        num_threads: 4,
+        ..DataExtraction::quick()
+    };
+
+    // Reference: tracing never installed (the shipping default).
+    let untraced = serde_json::to_string(&config.run(&platform, &apps).unwrap()).unwrap();
+
+    // NullSink: instrumentation stays disabled.
+    let null_traced = mlcomp::trace::with_sink(Arc::new(mlcomp::trace::NullSink), || {
+        serde_json::to_string(&config.run(&platform, &apps).unwrap()).unwrap()
+    });
+    assert_eq!(untraced, null_traced, "NullSink must be a no-op");
+
+    // RingSink: full instrumentation enabled, events buffered in memory.
+    let ring = Arc::new(mlcomp::trace::RingSink::new(1 << 16));
+    let ring_traced = mlcomp::trace::with_sink(ring.clone(), || {
+        serde_json::to_string(&config.run(&platform, &apps).unwrap()).unwrap()
+    });
+    assert_eq!(
+        untraced, ring_traced,
+        "an in-memory sink must not perturb the Dataset"
+    );
+    assert!(
+        !ring.is_empty(),
+        "an enabled sink must actually observe events"
+    );
+
+    // JsonlSink: full instrumentation writing to a real file.
+    let path = std::env::temp_dir().join("mlcomp_determinism_trace.jsonl");
+    let sink = mlcomp::trace::JsonlSink::create(&path).expect("temp trace file");
+    let jsonl_traced = mlcomp::trace::with_sink(Arc::new(sink), || {
+        serde_json::to_string(&config.run(&platform, &apps).unwrap()).unwrap()
+    });
+    assert_eq!(
+        untraced, jsonl_traced,
+        "a JSONL sink must not perturb the Dataset"
+    );
+    let trace = std::fs::read_to_string(&path).expect("trace file exists");
+    std::fs::remove_file(&path).ok();
+    assert!(
+        trace.lines().any(|l| l.contains("\"t\":\"span\"")),
+        "the trace file must contain span events"
+    );
+}
+
 #[test]
 fn extraction_is_repeatable_within_one_thread_count() {
     let platform = X86Platform::new();
