@@ -231,6 +231,18 @@ impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
 impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
     fn serialize(&self) -> Value {
         Value::Array(self.iter().map(Serialize::serialize).collect())
@@ -275,3 +287,4 @@ impl_tuple!(1, A.0);
 impl_tuple!(2, A.0, B.1);
 impl_tuple!(3, A.0, B.1, C.2);
 impl_tuple!(4, A.0, B.1, C.2, D.3);
+impl_tuple!(5, A.0, B.1, C.2, D.3, E.4);

@@ -7,10 +7,11 @@ use mlcomp_linalg::Matrix;
 use mlcomp_ml::search::{FittedPipeline, ModelSearch, SearchOutcome};
 use mlcomp_ml::TrainError;
 use mlcomp_platform::{DynamicFeatures, METRIC_COUNT, METRIC_NAMES};
+use serde::{Deserialize, Serialize};
 
 /// Per-metric accuracy summary of a trained PE — the numbers behind the
 /// paper's "<2% maximum error" claim (Table II row "MLComp (PE)").
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EstimatorReport {
     /// `(metric, chosen preprocessor, chosen model, held-out accuracy,
     /// held-out max percentage error)` per metric.
@@ -41,6 +42,10 @@ impl std::fmt::Display for EstimatorReport {
 
 /// A trained Performance Estimator: predicts the four dynamic metrics from
 /// the 63 static features, no execution required.
+///
+/// Serializable (one fitted pipeline per metric plus the accuracy report)
+/// so a trained PE can ship inside an artifact bundle.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct PerfEstimator {
     pipelines: Vec<FittedPipeline>,
     report: EstimatorReport,

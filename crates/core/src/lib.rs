@@ -45,4 +45,6 @@ pub use dataset::{Dataset, FailedPoint, FailureReport, QuarantinedPhase, Sample}
 pub use estimator::{EstimatorReport, PerfEstimator};
 pub use extraction::{DataExtraction, ExtractionError};
 pub use mlcomp::{Artifacts, Mlcomp, MlcompConfig};
-pub use pss::{CompilerEnv, FeatureProjector, PhaseSequenceSelector, PssConfig, RewardWeights};
+pub use pss::{
+    CompilerEnv, DeployError, FeatureProjector, PhaseSequenceSelector, PssConfig, RewardWeights,
+};

@@ -120,6 +120,24 @@ impl From<mlcomp_ml::TrainError> for MlcompError {
 }
 
 /// The four-step methodology runner.
+///
+/// # Examples
+///
+/// End to end (a couple of minutes with [`MlcompConfig::quick`]; the
+/// paper configuration is substantially longer):
+///
+/// ```no_run
+/// use mlcomp_core::{Mlcomp, MlcompConfig};
+/// use mlcomp_platform::X86Platform;
+///
+/// let apps = mlcomp_suites::parsec_suite();
+/// let artifacts = Mlcomp::new(MlcompConfig::quick())
+///     .run(&X86Platform::new(), &apps)
+///     .unwrap();
+/// let (optimized, phases) = artifacts.selector.optimize(&apps[0].module);
+/// assert!(!phases.is_empty());
+/// # let _ = optimized;
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Mlcomp {
     config: MlcompConfig,

@@ -255,6 +255,58 @@ impl Env for CompilerEnv<'_> {
     }
 }
 
+/// A selector cannot be deployed: its trained shapes disagree with the
+/// environment it is being deployed into.
+///
+/// Returned by [`PhaseSequenceSelector::validate_deployment`]. Without
+/// this check, a policy trained against a different phase registry would
+/// emit action indices that are out of bounds for — or silently name the
+/// wrong phase in — [`registry::PHASE_NAMES`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The policy's action-space size differs from the phase registry's
+    /// phase count.
+    ActionSpaceMismatch {
+        /// Actions the policy was trained with.
+        policy_actions: usize,
+        /// Phases in this build's registry.
+        registry_phases: usize,
+    },
+    /// The policy's input dimensionality differs from the feature
+    /// projector's output dimensionality.
+    StateDimMismatch {
+        /// State size the policy expects.
+        policy_input: usize,
+        /// State size the projector produces.
+        projector_output: usize,
+    },
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::ActionSpaceMismatch {
+                policy_actions,
+                registry_phases,
+            } => write!(
+                f,
+                "policy was trained over {policy_actions} actions but the phase \
+                 registry has {registry_phases} phases"
+            ),
+            DeployError::StateDimMismatch {
+                policy_input,
+                projector_output,
+            } => write!(
+                f,
+                "policy expects {policy_input}-dimensional states but the feature \
+                 projector produces {projector_output} dimensions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
 /// The deployed Phase Sequence Selector: a trained policy plus the fitted
 /// PCA, driving the pass manager with the paper's §III-D rules.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -322,6 +374,59 @@ impl PhaseSequenceSelector {
             },
             stats,
         )
+    }
+
+    /// Checks that the selector fits the environment it is deployed into:
+    /// the policy's action space must match the phase registry and its
+    /// input dimensionality must match the projector's output.
+    ///
+    /// [`optimize`](PhaseSequenceSelector::optimize) and
+    /// [`select_from_features`](PhaseSequenceSelector::select_from_features)
+    /// index [`registry::PHASE_NAMES`] with policy action indices, so a
+    /// selector trained against a drifted registry must be rejected before
+    /// it serves a single request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] on a shape mismatch.
+    pub fn validate_deployment(&self) -> Result<(), DeployError> {
+        if self.policy.actions != registry::PHASE_COUNT {
+            return Err(DeployError::ActionSpaceMismatch {
+                policy_actions: self.policy.actions,
+                registry_phases: registry::PHASE_COUNT,
+            });
+        }
+        if self.policy.input_dim != self.projector.out_dim() {
+            return Err(DeployError::StateDimMismatch {
+                policy_input: self.policy.input_dim,
+                projector_output: self.projector.out_dim(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Feature-only selection: answers "static features → phase sequence"
+    /// without access to the module itself.
+    ///
+    /// This is the serving-time entry point (box ④ as a service): the
+    /// caller extracted the 63 static features elsewhere and wants the
+    /// policy's phase ordering. Without the module we cannot observe which
+    /// phases are inactive, so the selector emits the policy's ranked
+    /// phases for the projected state — the same candidate set
+    /// [`optimize`](PhaseSequenceSelector::optimize) would try in its
+    /// first round — truncated to the Table V limits
+    /// (`max_inactive` candidates, at most `max_seq_len` phases).
+    ///
+    /// Deterministic: equal feature vectors always produce the identical
+    /// sequence, the property the serving layer's cache relies on.
+    pub fn select_from_features(&self, features: &[f64]) -> Vec<&'static str> {
+        let state = self.projector.project(features);
+        let ranked = self.policy.ranked_actions(&state);
+        ranked
+            .iter()
+            .take(self.config.max_inactive.min(self.config.max_seq_len))
+            .map(|&action| registry::PHASE_NAMES[action])
+            .collect()
     }
 
     /// Deployment (§III-D): iteratively applies the most probable phase;
@@ -492,6 +597,73 @@ mod tests {
             tuned_total < base_total,
             "suite total should improve: {tuned_total} vs {base_total}"
         );
+    }
+
+    #[test]
+    fn deployment_validation_rejects_registry_drift() {
+        let (apps, pe, projector) = setup();
+        let (mut selector, _) = PhaseSequenceSelector::train(
+            &apps,
+            &pe,
+            projector,
+            PssConfig {
+                episodes: 8,
+                ..PssConfig::quick()
+            },
+            RewardWeights::default(),
+        );
+        selector.validate_deployment().unwrap();
+
+        // A policy trained against a smaller registry (fewer actions) must
+        // be rejected — its indices would silently name the wrong phases.
+        let good_dim = selector.policy.input_dim;
+        selector.policy = PolicyNet::new(good_dim, 4, registry::PHASE_COUNT - 1, 7);
+        assert_eq!(
+            selector.validate_deployment(),
+            Err(DeployError::ActionSpaceMismatch {
+                policy_actions: registry::PHASE_COUNT - 1,
+                registry_phases: registry::PHASE_COUNT,
+            })
+        );
+
+        // A policy with the right action count but the wrong state size is
+        // also undeployable.
+        selector.policy = PolicyNet::new(good_dim + 1, 4, registry::PHASE_COUNT, 7);
+        assert!(matches!(
+            selector.validate_deployment(),
+            Err(DeployError::StateDimMismatch { .. })
+        ));
+        let msg = selector.validate_deployment().unwrap_err().to_string();
+        assert!(msg.contains("dimension"), "{msg}");
+    }
+
+    #[test]
+    fn select_from_features_is_deterministic_and_bounded() {
+        let (apps, pe, projector) = setup();
+        let (selector, _) = PhaseSequenceSelector::train(
+            &apps,
+            &pe,
+            projector,
+            PssConfig {
+                episodes: 8,
+                ..PssConfig::quick()
+            },
+            RewardWeights::default(),
+        );
+        let feats = mlcomp_features::extract(&apps[0].module);
+        let a = selector.select_from_features(&feats.values);
+        let b = selector.select_from_features(&feats.values);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.len() <= selector.config.max_inactive);
+        for phase in &a {
+            assert!(registry::is_registered(phase));
+        }
+        // No duplicate phases: ranked_actions is a permutation.
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len());
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Closed, serializable sums over the model and preprocessor zoos.
+//!
+//! The model search works with `Box<dyn Regressor>` / `Box<dyn
+//! Preprocessor>` internally, but a trained Performance Estimator has to
+//! leave the process inside an artifact bundle (DESIGN.md §12). Trait
+//! objects cannot round-trip through serde, so [`AnyModel`] and
+//! [`AnyPreprocessor`] enumerate the zoos of the paper's Tables III/IV as
+//! concrete variants; each variant serializes with its fitted parameters
+//! using the externally-tagged layout (`{"Ridge": {…}}`).
+//!
+//! The enums implement the same [`Regressor`]/[`Preprocessor`] traits by
+//! delegation, so fitted pipelines behave identically whether they were
+//! trained in-process or loaded from a bundle.
+
+use crate::models::*;
+use crate::preprocess::*;
+use crate::{Preprocessor, Regressor, TrainError};
+use mlcomp_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+macro_rules! any_model {
+    ($( $name:literal => $variant:ident ),+ $(,)?) => {
+        /// Every Table IV regression model as one serializable sum type.
+        ///
+        /// # Examples
+        ///
+        /// ```
+        /// use mlcomp_ml::any::AnyModel;
+        /// use mlcomp_ml::Regressor;
+        ///
+        /// let model = AnyModel::from_name("ridge").unwrap();
+        /// assert_eq!(model.name(), "ridge");
+        /// assert!(AnyModel::from_name("gpt").is_none());
+        /// ```
+        #[derive(Debug, Clone, Serialize, Deserialize)]
+        pub enum AnyModel {
+            $(
+                #[doc = concat!("The `", $name, "` model.")]
+                $variant($variant),
+            )+
+        }
+
+        impl AnyModel {
+            /// Instantiates a default-configured model by zoo name
+            /// (`None` for names outside Table IV).
+            pub fn from_name(name: &str) -> Option<AnyModel> {
+                Some(match name {
+                    $( $name => AnyModel::$variant($variant::default()), )+
+                    _ => return None,
+                })
+            }
+        }
+
+        impl Regressor for AnyModel {
+            fn name(&self) -> &'static str {
+                match self {
+                    $( AnyModel::$variant(m) => m.name(), )+
+                }
+            }
+
+            fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), TrainError> {
+                match self {
+                    $( AnyModel::$variant(m) => m.fit(x, y), )+
+                }
+            }
+
+            fn predict(&self, x: &Matrix) -> Vec<f64> {
+                match self {
+                    $( AnyModel::$variant(m) => m.predict(x), )+
+                }
+            }
+        }
+    };
+}
+
+any_model! {
+    "ridge" => Ridge,
+    "kernel-ridge" => KernelRidge,
+    "bayesian-ridge" => BayesianRidge,
+    "linear" => Linear,
+    "sgd" => Sgd,
+    "passive-aggressive" => PassiveAggressive,
+    "ard" => Ard,
+    "huber" => Huber,
+    "theil-sen" => TheilSen,
+    "lars" => Lars,
+    "lasso" => Lasso,
+    "lasso-lars" => LassoLars,
+    "svr" => Svr,
+    "nu-svr" => NuSvr,
+    "linear-svr" => LinearSvr,
+    "elastic-net" => ElasticNet,
+    "omp" => Omp,
+    "mlp" => Mlp,
+    "decision-tree" => DecisionTree,
+    "extra-tree" => ExtraTree,
+    "random-forest" => RandomForest,
+}
+
+macro_rules! any_preprocessor {
+    ($( $name:literal => $variant:ident ($ctor:expr) ),+ $(,)?) => {
+        /// Every Table III preprocessing algorithm (plus the identity
+        /// baseline) as one serializable sum type.
+        #[derive(Debug, Clone, Serialize, Deserialize)]
+        pub enum AnyPreprocessor {
+            $(
+                #[doc = concat!("The `", $name, "` preprocessor.")]
+                $variant($variant),
+            )+
+        }
+
+        impl AnyPreprocessor {
+            /// Instantiates a default-configured preprocessor by zoo name
+            /// (`None` for names outside Table III).
+            pub fn from_name(name: &str) -> Option<AnyPreprocessor> {
+                Some(match name {
+                    $( $name => AnyPreprocessor::$variant($ctor), )+
+                    _ => return None,
+                })
+            }
+        }
+
+        impl Preprocessor for AnyPreprocessor {
+            fn name(&self) -> &'static str {
+                match self {
+                    $( AnyPreprocessor::$variant(p) => p.name(), )+
+                }
+            }
+
+            fn fit(&mut self, x: &Matrix) -> Result<(), TrainError> {
+                match self {
+                    $( AnyPreprocessor::$variant(p) => p.fit(x), )+
+                }
+            }
+
+            fn transform(&self, x: &Matrix) -> Matrix {
+                match self {
+                    $( AnyPreprocessor::$variant(p) => p.transform(x), )+
+                }
+            }
+        }
+    };
+}
+
+any_preprocessor! {
+    "identity" => Identity(Identity),
+    "pca" => Pca(Pca::mle()),
+    "nca" => Nca(Nca::new(8)),
+    "mean-std" => StandardScaler(StandardScaler::default()),
+    "min-max" => MinMaxScaler(MinMaxScaler::default()),
+    "max-abs" => MaxAbsScaler(MaxAbsScaler::default()),
+    "robust" => RobustScaler(RobustScaler::default()),
+    "power" => PowerTransformer(PowerTransformer::default()),
+    "quantile" => QuantileTransformer(QuantileTransformer::default()),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::testutil::synthetic;
+    use crate::search::{model_zoo, preprocessor_zoo};
+
+    #[test]
+    fn every_zoo_name_constructs_and_round_trips_names() {
+        for name in model_zoo() {
+            let m = AnyModel::from_name(name).unwrap_or_else(|| panic!("{name} constructs"));
+            assert_eq!(m.name(), name);
+        }
+        for name in preprocessor_zoo() {
+            let p =
+                AnyPreprocessor::from_name(name).unwrap_or_else(|| panic!("{name} constructs"));
+            assert_eq!(p.name(), name);
+        }
+        assert!(AnyModel::from_name("gpt").is_none());
+        assert!(AnyPreprocessor::from_name("umap").is_none());
+    }
+
+    #[test]
+    fn fitted_models_round_trip_through_json_bit_exactly() {
+        let (x, y) = synthetic(80, 0.05, 3);
+        for name in model_zoo() {
+            let mut m = AnyModel::from_name(name).unwrap();
+            m.fit(&x, &y).unwrap_or_else(|e| panic!("{name} fits: {e}"));
+            let json = serde_json::to_string(&m).unwrap();
+            let back: AnyModel = serde_json::from_str(&json)
+                .unwrap_or_else(|e| panic!("{name} round-trips: {e}"));
+            assert_eq!(back.name(), name);
+            let a = m.predict(&x);
+            let b = back.predict(&x);
+            assert_eq!(a, b, "{name} predictions must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn fitted_preprocessors_round_trip_through_json_bit_exactly() {
+        let (x, _) = synthetic(80, 0.05, 4);
+        for name in preprocessor_zoo() {
+            let mut p = AnyPreprocessor::from_name(name).unwrap();
+            p.fit(&x).unwrap_or_else(|e| panic!("{name} fits: {e}"));
+            let json = serde_json::to_string(&p).unwrap();
+            let back: AnyPreprocessor = serde_json::from_str(&json)
+                .unwrap_or_else(|e| panic!("{name} round-trips: {e}"));
+            let a = p.transform(&x);
+            let b = back.transform(&x);
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "{name} transforms must be bit-identical"
+            );
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //! assert!((pred[0] - 9.0).abs() < 1e-3);
 //! ```
 
+pub mod any;
 pub mod metrics;
 pub mod models;
 pub mod preprocess;
@@ -114,7 +115,8 @@ pub trait Preprocessor {
     }
 }
 
-pub use search::{model_zoo, preprocessor_zoo, ModelSearch, SearchOutcome};
+pub use any::{AnyModel, AnyPreprocessor};
+pub use search::{model_zoo, preprocessor_zoo, FittedPipeline, ModelSearch, SearchOutcome};
 
 /// Deterministic train/test split: shuffles row indices with the seed and
 /// returns `(train, test)` index sets with `test_fraction` of the rows in

@@ -4,10 +4,11 @@
 use super::{center, check_xy, column_means, predict_linear};
 use crate::{Regressor, TrainError};
 use mlcomp_linalg::Matrix;
+use serde::{Deserialize, Serialize};
 
 /// Bayesian ridge regression: iteratively re-estimates the noise precision
 /// `alpha` and weight precision `lambda` (MacKay's evidence updates).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BayesianRidge {
     /// Maximum evidence iterations.
     pub max_iter: usize,
@@ -97,7 +98,7 @@ impl Regressor for BayesianRidge {
 /// Automatic relevance determination: per-feature precision `λⱼ`; features
 /// whose precision blows up are pruned to zero — Bayesian feature
 /// selection.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Ard {
     /// Maximum evidence iterations.
     pub max_iter: usize,

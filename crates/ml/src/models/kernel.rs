@@ -7,10 +7,11 @@ use crate::{Regressor, TrainError};
 use mlcomp_linalg::Matrix;
 use rand::Rng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// RBF kernel ridge regression: `(K + αI)⁻¹ y` with
 /// `K(a,b) = exp(−γ‖a−b‖²)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelRidge {
     /// Regularization.
     pub alpha: f64,
@@ -149,7 +150,7 @@ fn svr_train(
 }
 
 /// Random Fourier feature map approximating the RBF kernel.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct FourierMap {
     proj: Matrix, // d × k
     phase: Vec<f64>,
@@ -194,7 +195,7 @@ impl FourierMap {
 
 /// ε-SVR with an RBF kernel, trained in the primal over random Fourier
 /// features.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Svr {
     /// Penalty parameter C.
     pub c: f64,
@@ -289,7 +290,7 @@ impl Regressor for Svr {
 /// ν-SVR: the ν parameter sets the fraction of points allowed outside the
 /// tube; realized here by choosing ε as the ν-quantile of the residual
 /// magnitudes of a pilot fit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NuSvr {
     /// Tube-violation fraction ν in `(0, 1)`.
     pub nu: f64,
@@ -335,7 +336,7 @@ impl Regressor for NuSvr {
 }
 
 /// Linear ε-SVR trained in the primal.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LinearSvr {
     /// Penalty parameter C.
     pub c: f64,

@@ -6,10 +6,11 @@ use crate::{Regressor, TrainError};
 use mlcomp_linalg::{Matrix, Qr};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// Ordinary least squares via Householder QR; falls back to a tiny ridge
 /// when the design is rank deficient.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Linear {
     weights: Vec<f64>,
     intercept: f64,
@@ -45,7 +46,7 @@ impl Regressor for Linear {
 }
 
 /// Ridge regression: closed-form `(XᵀX + αI)⁻¹ Xᵀy` on centered data.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Ridge {
     /// L2 regularization strength.
     pub alpha: f64,
@@ -106,7 +107,7 @@ impl Regressor for Ridge {
 
 /// Linear regression by stochastic gradient descent (squared loss, L2
 /// penalty, inverse-scaling learning rate, seeded shuffling).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Sgd {
     /// L2 penalty.
     pub alpha: f64,
@@ -192,7 +193,7 @@ impl Regressor for Sgd {
 
 /// Passive-aggressive regression (PA-II): per-sample updates sized by the
 /// ε-insensitive hinge loss.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PassiveAggressive {
     /// Aggressiveness (PA-II regularization).
     pub c: f64,

@@ -6,9 +6,10 @@ use crate::{Regressor, TrainError};
 use mlcomp_linalg::Matrix;
 use rand::Rng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// MLP regressor (input → tanh hidden → linear output).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
     /// Hidden layer width.
     pub hidden: usize,

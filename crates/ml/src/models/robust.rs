@@ -6,10 +6,11 @@ use crate::{Regressor, TrainError};
 use mlcomp_linalg::Matrix;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// Huber regression by iteratively reweighted least squares: quadratic
 /// loss near zero, linear beyond `delta` (in units of the residual MAD).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Huber {
     /// Transition point between quadratic and linear loss, in robust
     /// standard deviations.
@@ -114,7 +115,7 @@ impl Regressor for Huber {
 /// squares on many small random subsamples, combined by the coordinate-wise
 /// median of the coefficient vectors (the classic spatial-median
 /// approximation).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TheilSen {
     /// Number of random subsamples.
     pub n_subsamples: usize,

@@ -6,6 +6,7 @@ use super::linear::ridge_solve;
 use super::{center, check_xy, column_means, predict_linear};
 use crate::{Regressor, TrainError};
 use mlcomp_linalg::Matrix;
+use serde::{Deserialize, Serialize};
 
 fn soft_threshold(v: f64, t: f64) -> f64 {
     if v > t {
@@ -62,7 +63,7 @@ fn coordinate_descent(
 }
 
 /// Lasso (L1-penalized least squares) by cyclic coordinate descent.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Lasso {
     /// L1 penalty.
     pub alpha: f64,
@@ -119,7 +120,7 @@ impl Regressor for Lasso {
 }
 
 /// Elastic net: mixed L1/L2 penalty by coordinate descent.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ElasticNet {
     /// Total penalty strength.
     pub alpha: f64,
@@ -182,7 +183,7 @@ impl Regressor for ElasticNet {
 /// Least-angle regression: forward selection where, at each step, the
 /// active set is refit jointly and extended by the feature most correlated
 /// with the residual, up to `n_nonzero`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Lars {
     /// Maximum active features.
     pub n_nonzero: usize,
@@ -282,7 +283,7 @@ impl Regressor for Lars {
 /// Lasso solved along the LARS path: the forward path stops once the
 /// residual correlation falls below `alpha` (the KKT stationarity point of
 /// the L1 problem).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LassoLars {
     /// L1 penalty / path stopping threshold.
     pub alpha: f64,
@@ -325,7 +326,7 @@ impl Regressor for LassoLars {
 
 /// Orthogonal matching pursuit: greedy selection with orthogonal refit, up
 /// to a fixed number of nonzero coefficients.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Omp {
     /// Number of nonzero coefficients to select.
     pub n_nonzero: usize,

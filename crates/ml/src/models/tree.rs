@@ -8,8 +8,9 @@ use mlcomp_linalg::Matrix;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum Node {
     Leaf(f64),
     Split {
@@ -138,7 +139,7 @@ fn build(
 }
 
 /// CART regression tree with variance-reduction splits.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DecisionTree {
     /// Maximum depth.
     pub max_depth: usize,
@@ -201,7 +202,7 @@ impl Regressor for DecisionTree {
 
 /// Extremely randomized tree: split thresholds drawn uniformly at random
 /// (one per candidate feature).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExtraTree {
     /// Maximum depth.
     pub max_depth: usize,
@@ -249,7 +250,7 @@ impl Regressor for ExtraTree {
 }
 
 /// Random forest: bootstrap-aggregated CARTs with √d feature subsampling.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RandomForest {
     /// Number of trees.
     pub n_trees: usize,

@@ -4,9 +4,10 @@
 
 use crate::{Preprocessor, TrainError};
 use mlcomp_linalg::{percentile, symmetric_eigen, Matrix};
+use serde::{Deserialize, Serialize};
 
 /// No-op preprocessing (the baseline combination in the model search).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Identity;
 
 impl Preprocessor for Identity {
@@ -61,7 +62,7 @@ impl Preprocessor for StandardScaler {
 }
 
 /// Min–max scaling to `[0, 1]`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MinMaxScaler {
     min: Vec<f64>,
     range: Vec<f64>,
@@ -99,7 +100,7 @@ impl Preprocessor for MinMaxScaler {
 }
 
 /// Max-absolute-value scaling to `[-1, 1]`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MaxAbsScaler {
     scale: Vec<f64>,
 }
@@ -132,7 +133,7 @@ impl Preprocessor for MaxAbsScaler {
 }
 
 /// Robust scaling by median and interquartile range.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RobustScaler {
     median: Vec<f64>,
     iqr: Vec<f64>,
@@ -171,7 +172,7 @@ impl Preprocessor for RobustScaler {
 
 /// Yeo–Johnson power transformer: per-column λ selected from a small grid
 /// by normality (skewness) of the transformed data, then standardized.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PowerTransformer {
     lambda: Vec<f64>,
     post: StandardScaler,
@@ -243,7 +244,7 @@ impl PowerTransformer {
 
 /// Quantile transformer: maps each column through its empirical CDF to a
 /// uniform distribution on `[0, 1]`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct QuantileTransformer {
     sorted_cols: Vec<Vec<f64>>,
 }
@@ -375,7 +376,7 @@ fn mle_dimension(evals: &[f64]) -> usize {
 /// land close together. For the unsupervised [`Preprocessor`] interface
 /// (no targets available), it behaves as whitened PCA — the supervised
 /// path is [`Nca::fit_supervised`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Nca {
     /// Output dimensionality.
     pub dim: usize,

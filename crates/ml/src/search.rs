@@ -2,12 +2,12 @@
 //! (Table III) and regression models (Table IV) for the best-fitting
 //! Performance Estimator pipeline.
 
-use crate::models::*;
-use crate::preprocess::*;
+use crate::any::{AnyModel, AnyPreprocessor};
 use crate::{metrics, take_rows, train_test_split, Preprocessor, Regressor, TrainError};
 use mlcomp_linalg::Matrix;
 use mlcomp_parallel::WorkerPool;
 use mlcomp_trace as trace;
+use serde::{Deserialize, Serialize};
 
 /// Names of all Table IV models, in the paper's row order.
 pub fn model_zoo() -> Vec<&'static str> {
@@ -54,57 +54,28 @@ pub fn preprocessor_zoo() -> Vec<&'static str> {
 
 /// Instantiates a model by zoo name.
 pub fn create_model(name: &str) -> Option<Box<dyn Regressor>> {
-    Some(match name {
-        "ridge" => Box::new(Ridge::default()),
-        "kernel-ridge" => Box::new(KernelRidge::default()),
-        "bayesian-ridge" => Box::new(BayesianRidge::default()),
-        "linear" => Box::new(Linear::default()),
-        "sgd" => Box::new(Sgd::default()),
-        "passive-aggressive" => Box::new(PassiveAggressive::default()),
-        "ard" => Box::new(Ard::default()),
-        "huber" => Box::new(Huber::default()),
-        "theil-sen" => Box::new(TheilSen::default()),
-        "lars" => Box::new(Lars::default()),
-        "lasso" => Box::new(Lasso::default()),
-        "lasso-lars" => Box::new(LassoLars::default()),
-        "svr" => Box::new(Svr::default()),
-        "nu-svr" => Box::new(NuSvr::default()),
-        "linear-svr" => Box::new(LinearSvr::default()),
-        "elastic-net" => Box::new(ElasticNet::default()),
-        "omp" => Box::new(Omp::default()),
-        "mlp" => Box::new(Mlp::default()),
-        "decision-tree" => Box::new(DecisionTree::default()),
-        "extra-tree" => Box::new(ExtraTree::default()),
-        "random-forest" => Box::new(RandomForest::default()),
-        _ => return None,
-    })
+    AnyModel::from_name(name).map(|m| Box::new(m) as Box<dyn Regressor>)
 }
 
 /// Instantiates a preprocessor by zoo name.
 pub fn create_preprocessor(name: &str) -> Option<Box<dyn Preprocessor>> {
-    Some(match name {
-        "identity" => Box::new(Identity),
-        "pca" => Box::new(Pca::mle()),
-        "nca" => Box::new(Nca::new(8)),
-        "mean-std" => Box::new(StandardScaler::default()),
-        "min-max" => Box::new(MinMaxScaler::default()),
-        "max-abs" => Box::new(MaxAbsScaler::default()),
-        "robust" => Box::new(RobustScaler::default()),
-        "power" => Box::new(PowerTransformer::default()),
-        "quantile" => Box::new(QuantileTransformer::default()),
-        _ => return None,
-    })
+    AnyPreprocessor::from_name(name).map(|p| Box::new(p) as Box<dyn Preprocessor>)
 }
 
 /// A fitted preprocessing + regression pipeline — the trained Performance
 /// Estimator for one metric.
+///
+/// Holds the closed [`AnyPreprocessor`]/[`AnyModel`] sums rather than
+/// trait objects so a trained pipeline can be exported inside an artifact
+/// bundle and loaded back with bit-identical behaviour.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct FittedPipeline {
     /// Preprocessor name.
     pub preprocessor_name: String,
     /// Model name.
     pub model_name: String,
-    preprocessor: Box<dyn Preprocessor>,
-    model: Box<dyn Regressor>,
+    preprocessor: AnyPreprocessor,
+    model: AnyModel,
 }
 
 impl std::fmt::Debug for FittedPipeline {
@@ -294,8 +265,8 @@ impl ModelSearch {
 
         // Refit the winner on the full dataset.
         let mut prep =
-            create_preprocessor(&winner.preprocessor).expect("winner came from the zoo");
-        let mut model = create_model(&winner.model).expect("winner came from the zoo");
+            AnyPreprocessor::from_name(&winner.preprocessor).expect("winner came from the zoo");
+        let mut model = AnyModel::from_name(&winner.model).expect("winner came from the zoo");
         let px = prep.fit_transform(x)?;
         model.fit(&px, y)?;
 

@@ -331,6 +331,31 @@ pub struct SandboxReport {
 /// Runs phases and pipelines over modules, optionally verifying the IR
 /// after every phase (used pervasively in tests; cheap enough to leave on
 /// for experiments too).
+///
+/// # Examples
+///
+/// ```
+/// use mlcomp_ir::{ModuleBuilder, Type};
+/// use mlcomp_passes::PassManager;
+///
+/// let mut mb = ModuleBuilder::new("demo");
+/// mb.begin_function("double", vec![Type::I64], Type::I64);
+/// {
+///     let mut b = mb.body();
+///     let slot = b.local(b.param(0));
+///     let v = b.load(slot, Type::I64);
+///     let sum = b.add(v, v);
+///     b.ret(Some(sum));
+/// }
+/// mb.finish_function();
+/// let mut module = mb.build();
+///
+/// let pm = PassManager::verifying();
+/// let changed = pm.run_sequence(&mut module, ["mem2reg", "simplifycfg"]).unwrap();
+/// assert!(changed >= 1, "mem2reg promotes the stack slot");
+/// // Unknown names are rejected before any phase runs.
+/// assert!(pm.run_sequence(&mut module, ["mem2reg", "nope"]).is_err());
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct PassManager {
     /// Verify IR well-formedness after every phase, panicking on breakage.

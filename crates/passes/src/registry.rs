@@ -70,6 +70,40 @@ pub fn is_registered(name: &str) -> bool {
     PHASE_NAMES.contains(&name)
 }
 
+/// FNV-1a hash over the phase count and ordered phase names.
+///
+/// The hash changes whenever a phase is added, removed, renamed or
+/// reordered, so an artifact bundle trained against one registry can
+/// refuse to deploy against another: a policy's action indices are only
+/// meaningful relative to the exact registry it was trained with.
+///
+/// # Examples
+///
+/// ```
+/// use mlcomp_passes::registry;
+///
+/// // Stable within a build: deployment compares this value against the
+/// // one recorded in a bundle at training time.
+/// assert_eq!(registry::registry_hash(), registry::registry_hash());
+/// ```
+pub fn registry_hash() -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(&(PHASE_COUNT as u64).to_le_bytes());
+    for name in PHASE_NAMES {
+        eat(name.as_bytes());
+        eat(&[0]); // separator so renames cannot alias across boundaries
+    }
+    h
+}
+
 /// Runs one phase by name over a module. Returns `Some(changed)` or `None`
 /// for unknown names.
 ///
@@ -179,6 +213,29 @@ mod tests {
             assert!(result.is_some(), "phase `{name}` must be registered");
             verify(&m).unwrap_or_else(|e| panic!("phase `{name}` broke the IR: {e}"));
         }
+    }
+
+    #[test]
+    fn registry_hash_is_stable_and_order_sensitive() {
+        assert_eq!(registry_hash(), registry_hash());
+        // Recompute with two names swapped: the hash must differ.
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut swapped = PHASE_NAMES;
+        swapped.swap(0, 1);
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&(PHASE_COUNT as u64).to_le_bytes());
+        for name in swapped {
+            eat(name.as_bytes());
+            eat(&[0]);
+        }
+        assert_ne!(registry_hash(), h);
     }
 
     #[test]

@@ -10,6 +10,28 @@ use serde::{Deserialize, Serialize};
 /// Architecture per the paper's Table V: three layers with inner size 16
 /// (two tanh hidden layers of `hidden` units, then a linear layer into the
 /// softmax).
+///
+/// # Examples
+///
+/// Inference is deterministic, and [`ranked_actions`](PolicyNet::ranked_actions)
+/// is a permutation of the full action set — the deployment fallback order
+/// of §III-D:
+///
+/// ```
+/// use mlcomp_rl::PolicyNet;
+///
+/// let policy = PolicyNet::new(4, 16, 5, 42);
+/// let state = [0.5, -1.0, 2.0, 0.0];
+/// let probs = policy.probabilities(&state);
+/// assert_eq!(probs.len(), 5);
+/// assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+///
+/// let ranked = policy.ranked_actions(&state);
+/// assert_eq!(ranked[0], policy.best_action(&state));
+/// let mut sorted = ranked.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PolicyNet {
     /// Input dimensionality.

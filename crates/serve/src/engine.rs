@@ -1,0 +1,103 @@
+//! The selection engine: a validated selector behind the sequence cache.
+
+use crate::bundle::ArtifactBundle;
+use crate::cache::{CacheConfig, SequenceCache};
+use mlcomp_core::{DeployError, PhaseSequenceSelector};
+use mlcomp_trace as trace;
+
+/// One answered selection: the phase sequence plus whether it came from
+/// the cache. The `cached` flag is observability metadata only — the
+/// `phases` of a hit are identical to what a miss would have computed,
+/// and the serving wire format deliberately omits the flag so responses
+/// are byte-identical either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    /// The selected phase sequence, best-first, within the Table V limits.
+    pub phases: Vec<&'static str>,
+    /// Whether the sequence was served from the cache.
+    pub cached: bool,
+}
+
+/// Answers "static features → phase sequence" through a deployed policy,
+/// fronted by a sharded LRU cache.
+///
+/// Construction validates the selector against this build's phase
+/// registry, so an engine can never index out of bounds at request time.
+/// All methods take `&self` and the engine is `Sync`; one engine serves
+/// a whole worker pool.
+pub struct SelectionEngine {
+    selector: PhaseSequenceSelector,
+    cache: SequenceCache,
+}
+
+impl SelectionEngine {
+    /// Wraps a selector after deployment validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] when the selector's trained shapes do not
+    /// match this build.
+    pub fn new(
+        selector: PhaseSequenceSelector,
+        cache: CacheConfig,
+    ) -> Result<SelectionEngine, DeployError> {
+        selector.validate_deployment()?;
+        Ok(SelectionEngine {
+            selector,
+            cache: SequenceCache::new(cache),
+        })
+    }
+
+    /// Builds an engine from an already-validated bundle. Infallible:
+    /// [`ArtifactBundle`] values are deployable by construction.
+    pub fn from_bundle(bundle: ArtifactBundle, cache: CacheConfig) -> SelectionEngine {
+        let (selector, _estimator) = bundle.into_parts();
+        SelectionEngine {
+            selector,
+            cache: SequenceCache::new(cache),
+        }
+    }
+
+    /// Selects the phase sequence for one static-feature vector.
+    ///
+    /// Deterministic and cache-transparent: for equal feature vectors the
+    /// returned `phases` are identical whether or not the cache answered
+    /// (the determinism test in `tests/serve_roundtrip.rs` enforces this
+    /// bit-for-bit). Emits `serve.cache.hit` / `serve.cache.miss`
+    /// counters and a `serve.select` span.
+    pub fn select(&self, features: &[f64]) -> Selection {
+        let mut span = trace::span("serve.select");
+        let key = self.cache.key(features);
+        if let Some(phases) = self.cache.get(&key) {
+            trace::counter("serve.cache.hit", 1);
+            if span.is_recording() {
+                span.field("cached", true);
+            }
+            return Selection {
+                phases,
+                cached: true,
+            };
+        }
+        let phases = self.selector.select_from_features(features);
+        self.cache.insert(key, phases.clone());
+        trace::counter("serve.cache.miss", 1);
+        if span.is_recording() {
+            span.field("cached", false);
+            span.field("seq_len", phases.len());
+        }
+        Selection {
+            phases,
+            cached: false,
+        }
+    }
+
+    /// The deployed selector.
+    pub fn selector(&self) -> &PhaseSequenceSelector {
+        &self.selector
+    }
+
+    /// Number of cached sequences.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}

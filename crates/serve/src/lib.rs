@@ -1,0 +1,58 @@
+//! Deployment layer for the MLComp reproduction (DESIGN.md §12): what the
+//! paper sketches as "the trained models are exported and used inside the
+//! compiler toolchain", made concrete.
+//!
+//! * [`ArtifactBundle`] — a versioned, fingerprinted JSON document
+//!   carrying a trained [`mlcomp_core::PhaseSequenceSelector`] and
+//!   [`mlcomp_core::PerfEstimator`], stamped with the phase-registry hash
+//!   they were trained against. Import re-validates everything and fails
+//!   with a typed [`BundleError`] — never a panic, never a silently
+//!   mis-indexing policy.
+//! * [`SelectionEngine`] — answers "static features → phase sequence"
+//!   through the deployed policy, fronted by the sharded LRU
+//!   [`SequenceCache`] keyed on quantized feature vectors.
+//! * [`BatchServer`] — a bounded batched request loop over the
+//!   deterministic worker pool with typed [`ServeError::Overloaded`]
+//!   backpressure and `serve.*` metrics readable by `mlcomp-report`.
+//! * the `mlcomp-serve` binary — `export` (train → bundle on disk) and
+//!   `serve` (bundle + JSONL requests on stdin → JSONL responses on
+//!   stdout).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mlcomp_core::{DataExtraction, Mlcomp, MlcompConfig};
+//! use mlcomp_platform::X86Platform;
+//! use mlcomp_serve::{
+//!     ArtifactBundle, BatchServer, CacheConfig, SelectionEngine, SelectionRequest,
+//!     ServerConfig,
+//! };
+//!
+//! // Train once…
+//! let apps = mlcomp_suites::parsec_suite();
+//! let artifacts = Mlcomp::new(MlcompConfig::quick())
+//!     .run(&X86Platform::new(), &apps)
+//!     .unwrap();
+//!
+//! // …export, and serve anywhere the same build runs.
+//! let bundle = ArtifactBundle::new(artifacts.selector, artifacts.estimator).unwrap();
+//! let json = bundle.export();
+//! let loaded = ArtifactBundle::import(&json).unwrap();
+//! let engine = SelectionEngine::from_bundle(loaded, CacheConfig::default());
+//! let server = BatchServer::new(engine, ServerConfig::default());
+//!
+//! let features = mlcomp_features::extract(&apps[0].module);
+//! let batch = vec![SelectionRequest { id: 0, features: features.values }];
+//! let responses = server.submit_batch(&batch).unwrap();
+//! println!("phases: {:?}", responses[0].phases);
+//! ```
+
+pub mod bundle;
+pub mod cache;
+pub mod engine;
+pub mod server;
+
+pub use bundle::{fingerprint_of, ArtifactBundle, BundleError, FORMAT_VERSION};
+pub use cache::{CacheConfig, CacheKey, SequenceCache};
+pub use engine::{Selection, SelectionEngine};
+pub use server::{BatchServer, SelectionRequest, SelectionResponse, ServeError, ServerConfig};

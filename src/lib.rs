@@ -15,6 +15,8 @@
 //! * [`rl`] — REINFORCE policy-gradient learning;
 //! * [`core`] — the MLComp methodology itself (data extraction,
 //!   Performance Estimator, Phase Selection Policy, deployment);
+//! * [`serve`] — deployable artifact bundles and the batched, cached
+//!   phase-selection serving layer (see DESIGN.md §12);
 //! * [`trace`] — structured tracing, metrics and phase-level profiling
 //!   (out-of-band: never perturbs results; see DESIGN.md §11).
 //!
@@ -30,5 +32,6 @@ pub use mlcomp_ml as ml;
 pub use mlcomp_passes as passes;
 pub use mlcomp_platform as platform;
 pub use mlcomp_rl as rl;
+pub use mlcomp_serve as serve;
 pub use mlcomp_suites as suites;
 pub use mlcomp_trace as trace;
